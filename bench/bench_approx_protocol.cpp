@@ -1,0 +1,101 @@
+// E10 - the epsilon-approximate agreement protocol's halving invariant.
+//
+// Claim (the n-register upper bound the paper cites as [9]): with m = n the
+// round-r published values have spread at most 2^{-(r-1)}, so after
+// ceil(log2(1/eps)) + 1 rounds all outputs are within eps and inside the
+// input range.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/protocols/approx_agreement.h"
+#include "src/protocols/protocol_runner.h"
+#include "src/tasks/task_spec.h"
+
+namespace {
+using namespace revisim;
+}  // namespace
+
+int main() {
+  benchutil::header("E10: approximate agreement halving invariant",
+                    "round-r spread <= 2^{1-r}; outputs within eps and the "
+                    "input range");
+
+  // Part 1: per-round spread, worst over seeds (n = 4, eps = 1e-3).
+  {
+    const std::size_t n = 4;
+    const double eps = 1e-3;
+    proto::ApproxAgreement p(n, n, eps);
+    // The invariant is per-execution: collect each run's per-round spread,
+    // then report the worst spread any single execution exhibited.
+    std::map<std::uint32_t, double> worst_spread;
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+      proto::ProtocolRun run(
+          p, {to_fixed(0.0), to_fixed(1.0), to_fixed(0.0), to_fixed(1.0)});
+      run.run_random(seed, 500'000);
+      std::map<std::uint32_t, std::pair<double, double>> round_range;
+      for (const auto& rec : run.log()) {
+        if (!rec.is_update) {
+          continue;
+        }
+        const std::uint32_t r = proto::approx_round(rec.value);
+        const double v = static_cast<double>(proto::approx_value(rec.value)) /
+                         static_cast<double>(Val{2} << 32);
+        auto [it, fresh] =
+            round_range.try_emplace(r, std::pair<double, double>{v, v});
+        if (!fresh) {
+          it->second.first = std::min(it->second.first, v);
+          it->second.second = std::max(it->second.second, v);
+        }
+      }
+      for (const auto& [r, range] : round_range) {
+        auto [it, fresh] =
+            worst_spread.try_emplace(r, range.second - range.first);
+        if (!fresh) {
+          it->second = std::max(it->second, range.second - range.first);
+        }
+      }
+    }
+    std::printf("\n  round  worst-spread(single run)  bound 2^(1-r)\n");
+    bool halving = true;
+    for (const auto& [r, spread] : worst_spread) {
+      const double bound = std::pow(2.0, 1.0 - double(r));
+      std::printf("  %5u  %24.6f  %.6f\n", r, spread, bound);
+      halving = halving && spread <= bound + 1e-9;
+    }
+    benchutil::verdict(halving, "halving invariant holds on every round");
+    if (!halving) {
+      return 1;
+    }
+  }
+
+  // Part 2: final outputs across (n, eps).
+  std::printf("\n  n  eps      runs  violations\n");
+  bool all_ok = true;
+  for (std::size_t n : {2ul, 3ul, 5ul, 8ul}) {
+    for (double eps : {0.1, 1e-2, 1e-4}) {
+      proto::ApproxAgreement p(n, n, eps);
+      tasks::ApproxAgreementTask task(eps);
+      std::vector<Val> inputs;
+      for (std::size_t i = 0; i < n; ++i) {
+        inputs.push_back(to_fixed(i % 2 ? 1.0 : 0.0));
+      }
+      std::size_t violations = 0;
+      const std::size_t seeds = 60;
+      for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+        proto::ProtocolRun run(p, inputs);
+        run.run_random(seed * 3 + n, 1'000'000);
+        if (!task.validate(inputs, run.outputs()).ok) {
+          ++violations;
+        }
+      }
+      std::printf("  %zu  %-7g  %4zu  %zu\n", n, eps, seeds, violations);
+      all_ok = all_ok && violations == 0;
+    }
+  }
+  benchutil::verdict(all_ok, "all outputs within eps and the input range");
+  return all_ok ? 0 : 1;
+}

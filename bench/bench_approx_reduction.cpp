@@ -1,0 +1,83 @@
+// E6 - Theorem 21(1) / Corollary 34 (the approximate-agreement reduction).
+//
+// Claim: two covering simulators turn any obstruction-free epsilon-agreement
+// protocol on m components into a 2-process wait-free solution taking at
+// most 2^{f m^2} steps - independent of epsilon.  Since 2-process
+// epsilon-agreement needs L = (1/2) log3(1/eps) steps (Hoest-Shavit), any
+// protocol with 2^{f m^2} < L is broken; the sweep shows the measured
+// simulation cost flat in epsilon while L grows, and epsilon violations
+// appearing on starved instances.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/bounds/bounds.h"
+#include "src/protocols/approx_agreement.h"
+#include "src/runtime/adversary.h"
+#include "src/sim/driver.h"
+#include "src/sim/replay.h"
+#include "src/tasks/task_spec.h"
+
+namespace {
+using namespace revisim;
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "E6: epsilon-approximate agreement reduction",
+      "Theorem 21(1)/Corollary 34: simulation cost is flat in epsilon while "
+      "the 2-process step lower bound L = 0.5 log3(1/eps) grows");
+
+  const std::size_t m = 2;
+  const std::size_t n = 4;  // starved: correct protocol would need m = n
+  const std::size_t f = 2;
+  std::printf(
+      "\n  eps        L(eps)   worst-sim-H-steps  2^(f*m^2)  replay-ok  "
+      "eps-violations/runs\n");
+  bool all_replayed = true;
+  bool flat = true;
+  std::size_t first_worst = 0;
+  for (double eps : {0.1, 0.01, 1e-3, 1e-4, 1e-6, 1e-8}) {
+    proto::ApproxAgreement protocol(n, m, eps);
+    tasks::ApproxAgreementTask task(eps);
+    std::size_t worst_steps = 0;
+    std::size_t violations = 0;
+    std::size_t replay_ok = 0;
+    const std::size_t seeds = 40;
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      runtime::Scheduler sched;
+      sim::SimulationDriver driver(sched, protocol,
+                                   {to_fixed(0.0), to_fixed(1.0)});
+      runtime::RandomAdversary adv(seed * 13 + 1);
+      if (!driver.run(adv, 20'000'000)) {
+        benchutil::verdict(false, "simulation not wait-free");
+        return 1;
+      }
+      for (runtime::ProcessId i = 0; i < f; ++i) {
+        worst_steps = std::max(worst_steps, sched.steps_taken(i));
+      }
+      if (sim::validate_simulation(driver).ok()) {
+        ++replay_ok;
+      }
+      if (!task.validate(driver.inputs(), driver.outputs()).ok) {
+        ++violations;
+      }
+    }
+    const double l = bounds::approx_step_lower_bound(eps);
+    std::printf("  %-9g  %6.2f  %17zu  %9.0f  %6zu/%zu  %zu/%zu\n", eps, l,
+                worst_steps, std::pow(2.0, double(f * m * m)), replay_ok,
+                seeds, violations, seeds);
+    all_replayed = all_replayed && replay_ok == seeds;
+    if (first_worst == 0) {
+      first_worst = worst_steps;
+    }
+    // "Flat": cost may wiggle with the round count but must stay within the
+    // same order while L grows unboundedly.
+    flat = flat && worst_steps < 50 * std::max<std::size_t>(first_worst, 1);
+  }
+  benchutil::verdict(all_replayed, "all runs replayed to legal executions");
+  benchutil::verdict(flat,
+                     "simulation cost flat in epsilon (the reduction's core)");
+  return (all_replayed && flat) ? 0 : 1;
+}

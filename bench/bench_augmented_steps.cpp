@@ -1,0 +1,96 @@
+// E1 - Lemma 2 (step complexity of the augmented snapshot).
+//
+// Claim: every Block-Update takes at most 6 steps on the single-writer
+// snapshot H (5 when it yields early), and a Scan concurrent with k
+// interfering update batches takes at most 2k+3 steps.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/augmented/augmented_snapshot.h"
+#include "src/runtime/adversary.h"
+#include "src/runtime/scheduler.h"
+
+namespace {
+
+using namespace revisim;
+using aug::AugmentedSnapshot;
+using runtime::ProcessId;
+using runtime::Scheduler;
+using runtime::Task;
+
+Task<void> bu_worker(AugmentedSnapshot& m, ProcessId me, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::size_t> comps{i % m.components()};
+    std::vector<Val> vals{static_cast<Val>(100 * me + i)};
+    co_await m.BlockUpdate(me, comps, vals);
+  }
+}
+
+Task<void> scan_worker(AugmentedSnapshot& m, ProcessId me, std::size_t count,
+                       std::vector<std::size_t>& costs, Scheduler& sched) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t before = sched.steps_taken(me);
+    co_await m.Scan(me);
+    costs.push_back(sched.steps_taken(me) - before);
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("E1: augmented snapshot step complexity",
+                    "Lemma 2: Block-Update = 6 H-steps; Scan <= 2k+3");
+
+  // Part 1: Block-Update cost across contention levels.
+  std::printf("\n  f  block-updates  total-H-steps  steps/op  bound\n");
+  bool bu_ok = true;
+  for (std::size_t f = 1; f <= 5; ++f) {
+    Scheduler sched;
+    AugmentedSnapshot m(sched, "M", 3, f);
+    const std::size_t per = 40;
+    for (ProcessId p = 0; p < f; ++p) {
+      sched.spawn(bu_worker(m, p, per), "q");
+    }
+    runtime::RandomAdversary adv(42 + f);
+    sched.run(adv);
+    const double ops = double(f * per);
+    const double per_op = double(sched.total_steps()) / ops;
+    std::printf("  %zu  %13zu  %13zu  %8.3f  6\n", f, f * per,
+                sched.total_steps(), per_op);
+    bu_ok = bu_ok && per_op <= 6.0 + 1e-9;
+  }
+  benchutil::verdict(bu_ok, "every Block-Update took at most 6 H-steps");
+
+  // Part 2: Scan cost as a function of concurrent update batches.  The
+  // adversary interleaves k full Block-Updates into one Scan.
+  std::printf("\n  k(concurrent updates)  scan-steps  bound 2k+3\n");
+  bool scan_ok = true;
+  for (std::size_t k = 0; k <= 6; ++k) {
+    Scheduler sched;
+    AugmentedSnapshot m(sched, "M", 2, 2);
+    std::vector<std::size_t> costs;
+    sched.spawn(bu_worker(m, 0, k), "q1");
+    sched.spawn(scan_worker(m, 1, 1, costs, sched), "q2");
+    // Schedule: q2 takes its opening scan, then q1 runs one whole
+    // Block-Update at a time, each invalidating q2's double collect once.
+    std::vector<ProcessId> script{1};
+    for (std::size_t i = 0; i < k; ++i) {
+      for (int s = 0; s < 6; ++s) {
+        script.push_back(0);
+      }
+      script.push_back(1);  // q2 L-write update
+      script.push_back(1);  // q2 confirming scan (invalidated while k left)
+    }
+    runtime::ScriptedAdversary adv(script);
+    sched.run(adv);
+    if (costs.empty()) {
+      std::printf("  %21zu  (scan unfinished)\n", k);
+      continue;
+    }
+    std::printf("  %21zu  %10zu  %zu\n", k, costs[0], 2 * k + 3);
+    scan_ok = scan_ok && costs[0] <= 2 * k + 3;
+  }
+  benchutil::verdict(scan_ok, "every Scan stayed within 2k+3 steps");
+  return (bu_ok && scan_ok) ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// E8 - the paper's bound tables (Corollaries 33 and 34).
+//
+// Prints the space lower bound floor((n-x)/(k+1-x)) + 1 against the known
+// upper bound n-k+x across (n, k, x), highlighting the tight rows (k = 1,
+// and k = n-1 with x = 1), and the approximate-agreement bound sweep.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/bounds/bounds.h"
+
+namespace {
+using namespace revisim;
+}  // namespace
+
+int main() {
+  benchutil::header("E8: bound tables",
+                    "Corollary 33/34 closed forms, with tightness highlights");
+
+  std::printf("%s", bounds::kset_bound_table(9).c_str());
+
+  bool tight_consensus = true;
+  for (std::size_t n = 2; n <= 30; ++n) {
+    tight_consensus = tight_consensus &&
+                      bounds::kset_space_lower_bound(n, 1, 1) == n &&
+                      bounds::kset_space_upper_bound(n, 1, 1) == n;
+  }
+  benchutil::verdict(tight_consensus,
+                     "k = 1 (consensus): lower = upper = n for n <= 30");
+
+  bool tight_nminus1 = true;
+  for (std::size_t n = 3; n <= 30; ++n) {
+    tight_nminus1 = tight_nminus1 &&
+                    bounds::kset_space_lower_bound(n, n - 1, 1) == 2 &&
+                    bounds::kset_space_upper_bound(n, n - 1, 1) == 2;
+  }
+  benchutil::verdict(tight_nminus1,
+                     "k = n-1, x = 1: lower = upper = 2 for n <= 30");
+
+  std::printf("\n  epsilon     L(eps)   space bound (n = 16)\n");
+  for (double eps : {1e-2, 1e-4, 1e-8, 1e-16, 1e-32, 1e-64, 1e-128}) {
+    std::printf("  %-10g  %7.2f  %zu\n", eps,
+                bounds::approx_step_lower_bound(eps),
+                bounds::approx_space_lower_bound(16, eps));
+  }
+  benchutil::verdict(true, "tables rendered");
+  return 0;
+}

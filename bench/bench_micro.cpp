@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark): wall-clock cost of the library's hot
+// paths - augmented-snapshot operations, the §3.3 linearizer, protocol
+// steps, and a whole reduction run.  These measure the *reproduction*, not
+// the paper (the paper's costs are step counts, covered by E1/E4).
+#include <benchmark/benchmark.h>
+
+#include "src/augmented/augmented_snapshot.h"
+#include "src/augmented/linearizer.h"
+#include "src/protocols/ca_consensus.h"
+#include "src/protocols/protocol_runner.h"
+#include "src/protocols/racing_agreement.h"
+#include "src/runtime/adversary.h"
+#include "src/runtime/scheduler.h"
+#include "src/sim/driver.h"
+#include "src/sim/replay.h"
+
+namespace {
+
+using namespace revisim;
+using runtime::ProcessId;
+using runtime::Scheduler;
+using runtime::Task;
+
+Task<void> bu_loop(aug::AugmentedSnapshot& m, ProcessId me, std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<std::size_t> comps{i % m.components()};
+    std::vector<Val> vals{static_cast<Val>(i)};
+    co_await m.BlockUpdate(me, comps, vals);
+  }
+}
+
+void BM_AugmentedBlockUpdates(benchmark::State& state) {
+  const std::size_t f = static_cast<std::size_t>(state.range(0));
+  const std::size_t ops = 50;
+  for (auto _ : state) {
+    Scheduler sched;
+    aug::AugmentedSnapshot m(sched, "M", 3, f);
+    for (ProcessId p = 0; p < f; ++p) {
+      sched.spawn(bu_loop(m, p, ops), "q");
+    }
+    runtime::RandomAdversary adv(7);
+    sched.run(adv);
+    benchmark::DoNotOptimize(sched.total_steps());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * f *
+                          ops);
+}
+BENCHMARK(BM_AugmentedBlockUpdates)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Linearize(benchmark::State& state) {
+  const std::size_t f = 3;
+  Scheduler sched;
+  aug::AugmentedSnapshot m(sched, "M", 3, f);
+  for (ProcessId p = 0; p < f; ++p) {
+    sched.spawn(bu_loop(m, p, static_cast<std::size_t>(state.range(0))), "q");
+  }
+  runtime::RandomAdversary adv(11);
+  sched.run(adv);
+  for (auto _ : state) {
+    auto lin = aug::linearize(m.log(), 3);
+    benchmark::DoNotOptimize(lin.ops.size());
+  }
+}
+BENCHMARK(BM_Linearize)->Arg(20)->Arg(60);
+
+void BM_ProtocolStep(benchmark::State& state) {
+  proto::CAConsensus p(6);
+  proto::ProtocolRun run(p, {0, 1, 2, 3, 4, 5});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    run.step(i % 6);
+    ++i;
+    if (run.all_done()) {
+      state.PauseTiming();
+      run = proto::ProtocolRun(p, {0, 1, 2, 3, 4, 5});
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_ProtocolStep);
+
+void BM_FullReduction(benchmark::State& state) {
+  proto::RacingAgreement protocol(4, 2);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Scheduler sched;
+    sim::SimulationDriver driver(sched, protocol, {10, 20});
+    runtime::RandomAdversary adv(seed++);
+    driver.run(adv, 10'000'000);
+    benchmark::DoNotOptimize(driver.outputs().size());
+  }
+}
+BENCHMARK(BM_FullReduction);
+
+void BM_ReplayValidation(benchmark::State& state) {
+  proto::RacingAgreement protocol(4, 2);
+  Scheduler sched;
+  sim::SimulationDriver driver(sched, protocol, {10, 20});
+  runtime::RandomAdversary adv(3);
+  driver.run(adv, 10'000'000);
+  for (auto _ : state) {
+    auto report = sim::validate_simulation(driver);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_ReplayValidation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

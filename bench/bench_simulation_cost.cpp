@@ -1,0 +1,76 @@
+// E4 - Lemmas 29-31 (cost of the simulation).
+//
+// Claim: covering simulator q_i applies at most b(i) Block-Updates, hence at
+// most 2 b(i) + 1 operations on M; with only covering simulators every
+// simulator takes at most (2f+7) b(f) + 3 <= 2^{f m^2} steps on H.  The
+// experiment measures the worst observed counts across adversarial seeds
+// and prints them against the closed forms.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/bounds/bounds.h"
+#include "src/protocols/racing_agreement.h"
+#include "src/runtime/adversary.h"
+#include "src/runtime/scheduler.h"
+#include "src/sim/driver.h"
+
+namespace {
+
+using namespace revisim;
+
+}  // namespace
+
+int main() {
+  benchutil::header("E4: simulation cost vs Lemma 29-31 bounds",
+                    "#Block-Updates by q_i <= b(i); H-steps <= (2f+7)b(f)+3");
+
+  std::printf(
+      "\n  f  m  worst-BU(q1..qf)            b(i) bounds           worst-H-steps  "
+      "bound\n");
+  bool ok = true;
+  for (std::size_t f = 1; f <= 3; ++f) {
+    for (std::size_t m = 1; m <= 3; ++m) {
+      const std::size_t n = f * m;  // covering simulators only (d = 0)
+      proto::RacingAgreement protocol(n, m);
+      std::vector<std::size_t> worst_bu(f, 0);
+      std::size_t worst_steps = 0;
+      for (std::uint64_t seed = 0; seed < 60; ++seed) {
+        runtime::Scheduler sched;
+        std::vector<Val> inputs;
+        for (std::size_t i = 0; i < f; ++i) {
+          inputs.push_back(static_cast<Val>(i + 1));
+        }
+        sim::SimulationDriver driver(sched, protocol, inputs);
+        runtime::RandomAdversary adv(seed * 31 + f * 7 + m);
+        if (!driver.run(adv, 10'000'000)) {
+          benchutil::verdict(false, "simulation not wait-free");
+          return 1;
+        }
+        for (runtime::ProcessId i = 0; i < f; ++i) {
+          worst_bu[i] =
+              std::max(worst_bu[i], driver.covering_stats(i)->block_updates);
+          worst_steps = std::max(worst_steps, sched.steps_taken(i));
+        }
+      }
+      std::printf("  %zu  %zu  ", f, m);
+      for (std::size_t i = 0; i < f; ++i) {
+        std::printf("%5zu", worst_bu[i]);
+        ok = ok && worst_bu[i] <= bounds::b_bound(i + 1, m);
+      }
+      std::printf("    ");
+      for (std::size_t i = 1; i <= f; ++i) {
+        const auto b = bounds::b_bound(i, m);
+        std::printf(" %8llu", static_cast<unsigned long long>(b));
+      }
+      const auto step_bound = bounds::covering_step_bound(f, m);
+      std::printf("   %10zu  %llu (2^%.0f)\n", worst_steps,
+                  static_cast<unsigned long long>(step_bound),
+                  bounds::log2_coarse_step_bound(f, m));
+      ok = ok && worst_steps <= step_bound;
+    }
+  }
+  benchutil::verdict(ok, "all measured counts within the closed-form bounds");
+  return ok ? 0 : 1;
+}

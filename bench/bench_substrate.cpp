@@ -1,0 +1,82 @@
+// E11 - the register substrate (space accounting made literal).
+//
+// The paper's space complexity counts *registers*.  This experiment runs
+// the identical reduction twice: over the atomic single-writer snapshot
+// base object (the paper's model) and over the Afek-et-al. construction
+// whose only shared objects are f plain registers.  Semantics - outputs,
+// replay validity, yield discipline - are identical; only the step currency
+// changes (an H-operation costs O(f^2) register steps).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/protocols/racing_agreement.h"
+#include "src/runtime/adversary.h"
+#include "src/sim/driver.h"
+#include "src/sim/replay.h"
+
+namespace {
+using namespace revisim;
+using Substrate = sim::SimulationDriver::Substrate;
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "E11: the reduction on plain registers",
+      "the real system's only shared objects are f registers (Afek et al. "
+      "single-writer snapshot); all Section 3/4 properties carry over");
+
+  std::printf(
+      "\n  substrate  f  m  runs  terminated  replay-ok  registers  "
+      "worst-steps/simulator\n");
+  bool ok = true;
+  for (Substrate sub : {Substrate::kAtomicSnapshot, Substrate::kRegisters}) {
+    const char* name =
+        sub == Substrate::kRegisters ? "registers" : "atomic-H ";
+    for (std::size_t f = 1; f <= 3; ++f) {
+      const std::size_t m = 2;
+      proto::RacingAgreement protocol(f * m, m);
+      std::size_t terminated = 0;
+      std::size_t replay_ok = 0;
+      std::size_t worst_steps = 0;
+      std::size_t objects = 0;
+      const std::size_t seeds = 30;
+      for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+        runtime::Scheduler sched;
+        std::vector<Val> inputs;
+        for (std::size_t i = 0; i < f; ++i) {
+          inputs.push_back(static_cast<Val>(i + 1));
+        }
+        sim::SimulationDriver::Options opt;
+        opt.substrate = sub;
+        sim::SimulationDriver driver(sched, protocol, inputs, opt);
+        runtime::RandomAdversary adv(seed * 7 + f);
+        if (!driver.run(adv, 50'000'000)) {
+          continue;
+        }
+        ++terminated;
+        if (sim::validate_simulation(driver).ok()) {
+          ++replay_ok;
+        }
+        for (runtime::ProcessId i = 0; i < f; ++i) {
+          worst_steps = std::max(worst_steps, sched.steps_taken(i));
+        }
+        objects = sched.object_count();
+      }
+      // The atomic substrate registers one f-component snapshot object
+      // (which the paper's accounting counts as f registers); the register
+      // substrate registers f actual registers.
+      std::printf("  %s  %zu  %zu  %4zu  %10zu  %9zu  %9zu  %zu\n", name, f, m,
+                  seeds, terminated, replay_ok, objects, worst_steps);
+      ok = ok && terminated == seeds && replay_ok == seeds;
+      if (sub == Substrate::kRegisters) {
+        // The whole real system fits in f registers (unbounded-size, as the
+        // model allows).
+        ok = ok && objects == f;
+      }
+    }
+  }
+  benchutil::verdict(ok,
+                     "identical guarantees on both substrates; register "
+                     "census matches f");
+  return ok ? 0 : 1;
+}

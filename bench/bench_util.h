@@ -1,0 +1,25 @@
+// Shared output helpers for the experiment binaries.
+//
+// Every binary under bench/ regenerates one experiment from EXPERIMENTS.md:
+// it prints a header naming the paper claim, a fixed-width table of
+// paper-bound vs measured values, and a PASS/FAIL verdict line that the
+// experiment log (bench_output.txt) preserves.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace revisim::benchutil {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void verdict(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+}  // namespace revisim::benchutil

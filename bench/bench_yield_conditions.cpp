@@ -1,0 +1,86 @@
+// E2 - Theorem 20 (yield conditions of Block-Update).
+//
+// Claim: a Block-Update returns the yield symbol only when a process with a
+// smaller id appended update triples inside its execution interval; in
+// particular q1 never yields, and yield rates grow with the number of
+// smaller-id competitors.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/augmented/augmented_snapshot.h"
+#include "src/augmented/linearizer.h"
+#include "src/runtime/adversary.h"
+#include "src/runtime/scheduler.h"
+
+namespace {
+
+using namespace revisim;
+using aug::AugmentedSnapshot;
+using runtime::ProcessId;
+using runtime::Scheduler;
+using runtime::Task;
+
+Task<void> worker(AugmentedSnapshot& m, ProcessId me, std::size_t count,
+                  std::size_t& yields) {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::size_t> comps{i % m.components()};
+    std::vector<Val> vals{static_cast<Val>(100 * me + i)};
+    auto r = co_await m.BlockUpdate(me, comps, vals);
+    if (r.yielded) {
+      ++yields;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("E2: Block-Update yield conditions",
+                    "Theorem 20: yields require smaller-id interference; "
+                    "q1 is always atomic");
+
+  const std::size_t per = 60;
+  const std::size_t seeds = 40;
+  bool q1_clean = true;
+  bool monotone_evidence = true;
+  std::printf("\n  f   per-process yield rate (q1 .. qf), %zu ops x %zu seeds\n",
+              per, seeds);
+  for (std::size_t f = 1; f <= 5; ++f) {
+    std::vector<double> rates(f, 0.0);
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      Scheduler sched;
+      AugmentedSnapshot m(sched, "M", 3, f);
+      std::vector<std::size_t> yields(f, 0);
+      for (ProcessId p = 0; p < f; ++p) {
+        sched.spawn(worker(m, p, per, yields[p]), "q");
+      }
+      runtime::RandomAdversary adv(seed * 977 + f);
+      sched.run(adv);
+      // Theorem 20 is also checked structurally by the linearizer.
+      auto lin = aug::linearize(m.log(), 3);
+      if (!lin.ok()) {
+        benchutil::verdict(false, "linearizer violation: " + lin.violations[0]);
+        return 1;
+      }
+      for (ProcessId p = 0; p < f; ++p) {
+        rates[p] += double(yields[p]) / double(per) / double(seeds);
+      }
+    }
+    std::printf("  %zu  ", f);
+    for (double r : rates) {
+      std::printf(" %6.3f", r);
+    }
+    std::printf("\n");
+    q1_clean = q1_clean && rates[0] == 0.0;
+    for (std::size_t p = 1; p < f; ++p) {
+      // Later processes have more smaller-id competitors; allow noise but
+      // q1's rate (0) must be the minimum.
+      monotone_evidence = monotone_evidence && rates[p] >= rates[0];
+    }
+  }
+  benchutil::verdict(q1_clean, "q1 never yielded");
+  benchutil::verdict(monotone_evidence,
+                     "yield rates are bounded below by q1's zero rate");
+  return (q1_clean && monotone_evidence) ? 0 : 1;
+}

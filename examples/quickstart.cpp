@@ -1,0 +1,66 @@
+// Quickstart: the augmented snapshot object (Section 3) in five minutes.
+//
+// Two real processes share a 3-component augmented snapshot.  q1 performs a
+// multi-component Block-Update (atomic: it returns a view of the object from
+// just before its updates); q2 scans and also Block-Updates.  Afterwards the
+// recorded execution is linearized and checked against the paper's §3.3
+// rules.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "src/augmented/augmented_snapshot.h"
+#include "src/augmented/linearizer.h"
+#include "src/runtime/adversary.h"
+#include "src/runtime/scheduler.h"
+
+using namespace revisim;
+using runtime::ProcessId;
+using runtime::Scheduler;
+using runtime::Task;
+
+namespace {
+
+Task<void> writer(aug::AugmentedSnapshot& m, ProcessId me) {
+  // Block-Update several components "at once"; the object tells us whether
+  // the updates were atomic (a view) or interleaved (the yield symbol).
+  std::vector<std::size_t> comps{0, 2};
+  std::vector<Val> vals{10, 12};
+  auto r = co_await m.BlockUpdate(me, comps, vals);
+  std::printf("q%zu: Block-Update([0,2],[10,12]) -> %s\n", me + 1,
+              r.yielded ? "yield" : ("view " + to_string(r.view)).c_str());
+
+  auto s = co_await m.Scan(me);
+  std::printf("q%zu: Scan -> %s\n", me + 1, to_string(s.view).c_str());
+}
+
+Task<void> reader(aug::AugmentedSnapshot& m, ProcessId me) {
+  auto s1 = co_await m.Scan(me);
+  std::printf("q%zu: Scan -> %s\n", me + 1, to_string(s1.view).c_str());
+  std::vector<std::size_t> comps{1};
+  std::vector<Val> vals{11};
+  auto r = co_await m.BlockUpdate(me, comps, vals);
+  std::printf("q%zu: Block-Update([1],[11]) -> %s\n", me + 1,
+              r.yielded ? "yield" : ("view " + to_string(r.view)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  Scheduler sched;
+  aug::AugmentedSnapshot m(sched, "M", /*m=*/3, /*f=*/2);
+  sched.spawn(writer(m, 0), "q1");
+  sched.spawn(reader(m, 1), "q2");
+
+  // The adversary interleaves the processes at single-step granularity;
+  // swap in RoundRobinAdversary or ScriptedAdversary to steer it.
+  runtime::RandomAdversary adversary(2024);
+  sched.run(adversary);
+
+  // Every execution is checked against the paper's linearization rules.
+  auto lin = aug::linearize(m.log(), 3);
+  std::printf("\nlinearized %zu operations; checks %s\n", lin.ops.size(),
+              lin.ok() ? "all passed" : lin.violations.front().c_str());
+  std::printf("final contents: %s\n", to_string(m.peek_view()).c_str());
+  return lin.ok() ? 0 : 1;
+}

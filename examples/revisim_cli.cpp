@@ -1,0 +1,184 @@
+// Command-line driver: run any configuration of the revisionist simulation
+// and print the run report.
+//
+// Usage:
+//   revisim_cli [--protocol racing|approx] [--n N] [--m M] [--f F] [--d D]
+//               [--eps E] [--seed S] [--seeds COUNT] [--burst]
+//               [--substrate atomic|registers] [--task consensus|kset:K|approx]
+//               [--trace]
+//
+// Examples:
+//   revisim_cli --protocol racing --n 4 --m 2 --f 2 --seeds 50
+//       hunt for consensus violations of the starved racing protocol
+//   revisim_cli --protocol approx --n 4 --m 2 --eps 1e-4 --substrate registers
+//       run the epsilon-agreement reduction on plain registers
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/bounds/bounds.h"
+#include "src/protocols/approx_agreement.h"
+#include "src/protocols/racing_agreement.h"
+#include "src/runtime/adversary.h"
+#include "src/sim/driver.h"
+#include "src/sim/summary.h"
+#include "src/tasks/task_spec.h"
+
+using namespace revisim;
+
+namespace {
+
+struct Args {
+  std::string protocol = "racing";
+  std::size_t n = 4;
+  std::size_t m = 2;
+  std::size_t f = 2;
+  std::size_t d = 0;
+  double eps = 1e-3;
+  std::uint64_t seed = 0;
+  std::size_t seeds = 1;
+  bool burst = false;
+  bool trace = false;
+  std::string substrate = "atomic";
+  std::string task = "consensus";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--protocol racing|approx] [--n N] [--m M] [--f F] "
+               "[--d D] [--eps E] [--seed S] [--seeds COUNT] [--burst] "
+               "[--substrate atomic|registers] [--task consensus|kset:K|"
+               "approx] [--trace]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--protocol")) {
+      a.protocol = next("--protocol");
+    } else if (!std::strcmp(argv[i], "--n")) {
+      a.n = std::strtoull(next("--n"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--m")) {
+      a.m = std::strtoull(next("--m"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--f")) {
+      a.f = std::strtoull(next("--f"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--d")) {
+      a.d = std::strtoull(next("--d"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--eps")) {
+      a.eps = std::strtod(next("--eps"), nullptr);
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--seeds")) {
+      a.seeds = std::strtoull(next("--seeds"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--burst")) {
+      a.burst = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      a.trace = true;
+    } else if (!std::strcmp(argv[i], "--substrate")) {
+      a.substrate = next("--substrate");
+    } else if (!std::strcmp(argv[i], "--task")) {
+      a.task = next("--task");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage(argv[0]);
+    }
+  }
+  return a;
+}
+
+std::unique_ptr<proto::Protocol> make_protocol(const Args& a) {
+  if (a.protocol == "racing") {
+    return std::make_unique<proto::RacingAgreement>(a.n, a.m);
+  }
+  if (a.protocol == "approx") {
+    return std::make_unique<proto::ApproxAgreement>(a.n, a.m, a.eps);
+  }
+  std::fprintf(stderr, "unknown protocol %s\n", a.protocol.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<tasks::ColorlessTask> make_task(const Args& a) {
+  if (a.task == "consensus") {
+    return std::make_unique<tasks::KSetAgreement>(1);
+  }
+  if (a.task.rfind("kset:", 0) == 0) {
+    return std::make_unique<tasks::KSetAgreement>(
+        std::strtoull(a.task.c_str() + 5, nullptr, 10));
+  }
+  if (a.task == "approx") {
+    return std::make_unique<tasks::ApproxAgreementTask>(a.eps);
+  }
+  std::fprintf(stderr, "unknown task %s\n", a.task.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  auto protocol = make_protocol(args);
+  auto task = make_task(args);
+
+  std::printf("protocol %s | task %s | f=%zu d=%zu | substrate %s\n",
+              protocol->name().c_str(), task->name().c_str(), args.f, args.d,
+              args.substrate.c_str());
+  if (args.protocol == "racing" && args.task == "consensus" && args.d <= 1) {
+    std::printf("paper bound (Corollary 33, x=max(d,1)): m >= %zu\n",
+                bounds::kset_space_lower_bound(args.n, 1, 1));
+  }
+
+  std::size_t violations = 0;
+  for (std::uint64_t s = args.seed; s < args.seed + args.seeds; ++s) {
+    runtime::Scheduler sched;
+    std::vector<Val> inputs;
+    for (std::size_t i = 0; i < args.f; ++i) {
+      inputs.push_back(args.protocol == "approx"
+                           ? to_fixed(i % 2 ? 1.0 : 0.0)
+                           : static_cast<Val>(10 * (i + 1)));
+    }
+    sim::SimulationDriver::Options opt;
+    opt.d = args.d;
+    opt.n = args.n;
+    if (args.substrate == "registers") {
+      opt.substrate = sim::SimulationDriver::Substrate::kRegisters;
+    }
+    sim::SimulationDriver driver(sched, *protocol, inputs, opt);
+    std::unique_ptr<runtime::Adversary> adv;
+    if (args.burst) {
+      adv = std::make_unique<runtime::BurstAdversary>(s, 12);
+    } else {
+      adv = std::make_unique<runtime::RandomAdversary>(s);
+    }
+    if (!driver.run(*adv, 100'000'000)) {
+      std::printf("seed %llu: step-limit cut\n",
+                  static_cast<unsigned long long>(s));
+      continue;
+    }
+    auto verdict = task->validate(driver.inputs(), driver.outputs());
+    if (!verdict.ok) {
+      ++violations;
+    }
+    if (args.seeds == 1 || !verdict.ok) {
+      std::printf("\nseed %llu (%s):\n%s",
+                  static_cast<unsigned long long>(s),
+                  verdict.ok ? "task satisfied" : verdict.reason.c_str(),
+                  sim::summarize(driver).c_str());
+      if (args.trace) {
+        std::printf("%s", sched.trace().to_text().c_str());
+      }
+    }
+  }
+  std::printf("\n%zu/%zu runs violated the task\n", violations, args.seeds);
+  return 0;
+}

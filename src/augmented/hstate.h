@@ -1,0 +1,84 @@
+// Contents of the single-writer snapshot H underlying the augmented
+// snapshot (§3.2).
+//
+// Component i of H is process q_{i+1}'s append-only log.  It carries two
+// kinds of entries:
+//   * update triples (component of M, value, timestamp), appended in batches
+//     of r by the line-4 update of a Block-Update to r components;
+//   * helping records, the paper's registers L_{i,j}[b]: q_{i+1} publishing
+//     "the result of a scan of H" for q_{j+1}'s b'th Block-Update.
+//
+// The paper's prefix order on scan results (Observation 1) concerns the
+// update-triple logs: those are what Get-View and the Block-Update return
+// value depend on, and helping records must not invalidate a Scan's double
+// collect (otherwise two concurrent Scans could block each other, which
+// would contradict Lemma 2).  Hence equality/prefix below compare triples
+// only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/augmented/timestamp.h"
+#include "src/util/value.h"
+
+namespace revisim::aug {
+
+struct UpdateTriple {
+  std::size_t component = 0;  // component of M
+  Val value = 0;
+  Timestamp ts;
+
+  friend bool operator==(const UpdateTriple&, const UpdateTriple&) = default;
+};
+
+struct HComp;
+using HView = std::vector<HComp>;  // result of a scan of H (all f components)
+
+// The paper's L_{i,j}[b] <- h: "for q_{target+1}'s Block-Update number
+// `index`, here is the scan result `h`".
+struct LRecord {
+  std::size_t target = 0;  // j: the process being helped (0-based)
+  std::size_t index = 0;   // b: which of its Block-Updates
+  std::shared_ptr<const HView> h;  // scan result being published
+};
+
+struct HComp {
+  std::vector<UpdateTriple> triples;
+  std::size_t num_bu = 0;  // #h_i: number of Block-Updates recorded (distinct
+                           // timestamps in `triples`)
+  std::vector<LRecord> lrecords;
+};
+
+// #h_j of the paper.
+inline std::size_t num_bu(const HView& h, std::size_t j) {
+  return h.at(j).num_bu;
+}
+
+// h is a prefix of g: component-wise, h's triple log is a prefix of g's.
+[[nodiscard]] bool is_prefix(const HView& h, const HView& g);
+
+// Proper prefix: prefix and differing in some component.
+[[nodiscard]] bool is_proper_prefix(const HView& h, const HView& g);
+
+// Triple-log equality (what a Scan's double collect compares).
+[[nodiscard]] bool triples_equal(const HView& h, const HView& g);
+
+// New-Timestamp (Algorithm 1) for process `me` (0-based).
+[[nodiscard]] Timestamp new_timestamp(const HView& h, std::size_t me);
+
+// Get-View (Algorithm 2): for each component j of M, the value with the
+// lexicographically largest timestamp among all triples for j, or bottom.
+[[nodiscard]] View get_view(const HView& h, std::size_t m);
+
+// Reads the paper's L_{j+1,me+1}[index]: the last helping record in
+// component j of `h` with the given target and index, or nullptr.
+[[nodiscard]] std::shared_ptr<const HView> read_lrecord(const HView& h,
+                                                        std::size_t j,
+                                                        std::size_t target,
+                                                        std::size_t index);
+
+}  // namespace revisim::aug

@@ -1,0 +1,20 @@
+#include "src/augmented/timestamp.h"
+
+#include <sstream>
+
+namespace revisim::aug {
+
+std::string Timestamp::to_string() const {
+  std::ostringstream out;
+  out << '(';
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i != 0) {
+      out << ',';
+    }
+    out << parts_[i];
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace revisim::aug

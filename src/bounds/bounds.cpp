@@ -1,0 +1,142 @@
+#include "src/bounds/bounds.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace revisim::bounds {
+namespace {
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return (a > kSaturated - b) ? kSaturated : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  if (a > kSaturated / b) {
+    return kSaturated;
+  }
+  return a * b;
+}
+
+}  // namespace
+
+std::uint64_t choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) {
+    return 0;
+  }
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i is exact at every step.
+    std::uint64_t num = n - k + i;
+    if (result > kSaturated / num) {
+      return kSaturated;
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+std::uint64_t a_bound(std::size_t r, std::size_t m) {
+  if (r == 0 || r > m) {
+    throw std::invalid_argument("a(r) needs 1 <= r <= m");
+  }
+  std::uint64_t a = 0;  // a(1)
+  for (std::size_t rr = 2; rr <= r; ++rr) {
+    const std::uint64_t c = choose(m, rr - 1);
+    a = sat_add(sat_mul(sat_add(c, 1), a), c);
+  }
+  return a;
+}
+
+std::uint64_t b_bound(std::size_t i, std::size_t m) {
+  if (i == 0) {
+    throw std::invalid_argument("b(i) needs i >= 1");
+  }
+  // The paper states both a recurrence and a closed form
+  // b(i) = a(m) (a(m-1)+1)^{i-1}; they disagree (the closed form is below
+  // the recurrence already at i = 2), and measured executions exceed the
+  // closed form while respecting the recurrence, which is also what the
+  // proof of Lemma 30 actually derives.  We implement the recurrence:
+  //   b(1) = a(m);  b(i) = (a(m-1)+1) * sum_{j<i} b(j) + a(m).
+  const std::uint64_t am = a_bound(m, m);
+  const std::uint64_t am1 = m >= 2 ? a_bound(m - 1, m) : 0;
+  std::uint64_t b = am;
+  std::uint64_t sum = 0;
+  for (std::size_t j = 2; j <= i; ++j) {
+    sum = sat_add(sum, b);
+    b = sat_add(sat_mul(sat_add(am1, 1), sum), am);
+  }
+  return b;
+}
+
+std::uint64_t covering_step_bound(std::size_t f, std::size_t m) {
+  return sat_add(sat_mul(2 * f + 7, b_bound(f, m)), 3);
+}
+
+double log2_coarse_step_bound(std::size_t f, std::size_t m) {
+  return static_cast<double>(f) * static_cast<double>(m) *
+         static_cast<double>(m);
+}
+
+std::size_t kset_space_lower_bound(std::size_t n, std::size_t k,
+                                   std::size_t x) {
+  if (x < 1 || x > k || n <= k) {
+    throw std::invalid_argument("need 1 <= x <= k < n");
+  }
+  return (n - x) / (k + 1 - x) + 1;
+}
+
+std::size_t kset_space_upper_bound(std::size_t n, std::size_t k,
+                                   std::size_t x) {
+  if (x < 1 || x > k || n <= k) {
+    throw std::invalid_argument("need 1 <= x <= k < n");
+  }
+  return n - k + x;
+}
+
+double approx_step_lower_bound(double epsilon) {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw std::invalid_argument("epsilon must be in (0,1)");
+  }
+  return 0.5 * std::log(1.0 / epsilon) / std::log(3.0);
+}
+
+std::size_t theorem21_space_bound(std::size_t n, std::size_t f,
+                                  double step_lower_bound) {
+  if (f == 0) {
+    throw std::invalid_argument("need f >= 1");
+  }
+  const std::size_t via_processes = n / f + 1;
+  if (step_lower_bound <= static_cast<double>(f)) {
+    return 1;  // the log term is degenerate
+  }
+  const double via_steps =
+      std::sqrt(std::log2(step_lower_bound / static_cast<double>(f)));
+  const double floored = std::max(1.0, std::floor(via_steps));
+  return std::min(via_processes, static_cast<std::size_t>(floored));
+}
+
+std::size_t approx_space_lower_bound(std::size_t n, double epsilon) {
+  return theorem21_space_bound(n, 2, approx_step_lower_bound(epsilon));
+}
+
+std::string kset_bound_table(std::size_t n_max) {
+  std::ostringstream out;
+  out << "  n   k   x   lower=floor((n-x)/(k+1-x))+1   upper=n-k+x\n";
+  for (std::size_t n = 2; n <= n_max; ++n) {
+    for (std::size_t k = 1; k < n; ++k) {
+      for (std::size_t x = 1; x <= k; ++x) {
+        out << "  " << n << "   " << k << "   " << x << "   "
+            << kset_space_lower_bound(n, k, x) << "   "
+            << kset_space_upper_bound(n, k, x) << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace revisim::bounds

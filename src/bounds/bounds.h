@@ -1,0 +1,70 @@
+// Closed forms of the paper's bounds (§4.5, §4.6).
+//
+//   a(r): Block-Updates a covering simulator applies inside Construct(r)
+//         when all of its Block-Updates are atomic (Lemma 29);
+//   b(i): Block-Updates covering simulator q_i applies in any execution
+//         (Lemma 30, accounting for yields caused by smaller ids);
+//   step bounds of Lemma 31 ((2f+7) b(f) + 3 <= 2^{f m^2});
+//   the k-set agreement space lower bound floor((n-x)/(k+1-x)) + 1
+//         (Corollary 33) against the known upper bound n-k+x [16];
+//   the epsilon-approximate agreement bound min{floor(n/2)+1,
+//         sqrt(log2(L/2))} with L = (1/2) log3(1/eps) (Theorem 21(1) /
+//         Corollary 34).
+//
+// Counts saturate at the maximum representable value; log-space variants
+// are exact enough for the tables the benches print.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace revisim::bounds {
+
+inline constexpr std::uint64_t kSaturated =
+    std::numeric_limits<std::uint64_t>::max();
+
+// Binomial coefficient, saturating.
+[[nodiscard]] std::uint64_t choose(std::uint64_t n, std::uint64_t k);
+
+// a(r) for an m-component object (Lemma 29); saturating.
+[[nodiscard]] std::uint64_t a_bound(std::size_t r, std::size_t m);
+
+// b(i) = a(m) * (a(m-1) + 1)^{i-1} (Lemma 30); saturating.
+[[nodiscard]] std::uint64_t b_bound(std::size_t i, std::size_t m);
+
+// Lemma 31: per-simulator step bound (2f+7) b(f) + 3 in H-operations when
+// all simulators are covering; saturating.
+[[nodiscard]] std::uint64_t covering_step_bound(std::size_t f, std::size_t m);
+
+// The paper's coarse bound 2^{f m^2} as a base-2 logarithm.
+[[nodiscard]] double log2_coarse_step_bound(std::size_t f, std::size_t m);
+
+// Corollary 33: registers needed for x-obstruction-free k-set agreement
+// among n > k processes, 1 <= x <= k.
+[[nodiscard]] std::size_t kset_space_lower_bound(std::size_t n, std::size_t k,
+                                                 std::size_t x);
+
+// Known upper bound n - k + x [Bouzid-Raynal-Sutra].
+[[nodiscard]] std::size_t kset_space_upper_bound(std::size_t n, std::size_t k,
+                                                 std::size_t x);
+
+// Hoest-Shavit step lower bound for 2-process epsilon-approximate
+// agreement: L = (1/2) log3(1/eps).
+[[nodiscard]] double approx_step_lower_bound(double epsilon);
+
+// Theorem 21(1), general form: any obstruction-free protocol for a task
+// whose f-process wait-free step complexity is at least L needs
+// m >= min{ floor(n/f)+1, sqrt(log2(L/f)) } components.
+[[nodiscard]] std::size_t theorem21_space_bound(std::size_t n, std::size_t f,
+                                                double step_lower_bound);
+
+// Theorem 21(1) with f = 2 and L = (1/2) log3(1/eps):
+// min{ floor(n/2)+1, sqrt(log2(L/2)) }.
+[[nodiscard]] std::size_t approx_space_lower_bound(std::size_t n,
+                                                   double epsilon);
+
+// Renders the (n, k, x) bound table the benches print.
+[[nodiscard]] std::string kset_bound_table(std::size_t n_max);
+
+}  // namespace revisim::bounds

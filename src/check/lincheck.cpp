@@ -1,0 +1,102 @@
+#include "src/check/lincheck.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace revisim::check {
+namespace {
+
+struct Search {
+  const std::vector<HistOp>* hist;
+  std::size_t m;
+  std::unordered_set<std::string> failed;  // memo of dead (mask, state)
+
+  [[nodiscard]] std::string key(std::uint64_t mask, const View& state) const {
+    std::string k = std::to_string(mask) + "#";
+    for (const auto& c : state) {
+      k += c ? std::to_string(*c) : "_";
+      k += ',';
+    }
+    return k;
+  }
+
+  bool dfs(std::uint64_t mask, const View& state) {
+    const std::size_t total = hist->size();
+    if (mask == (std::uint64_t{1} << total) - 1) {
+      return true;
+    }
+    const std::string k = key(mask, state);
+    if (failed.contains(k)) {
+      return false;
+    }
+    for (std::size_t i = 0; i < total; ++i) {
+      if (mask & (std::uint64_t{1} << i)) {
+        continue;
+      }
+      const HistOp& op = (*hist)[i];
+      // Real-time order: op may be next only if no other unlinearized
+      // operation responded before op was invoked.
+      bool blocked = false;
+      for (std::size_t j = 0; j < total; ++j) {
+        if (j != i && !(mask & (std::uint64_t{1} << j)) &&
+            (*hist)[j].respond <= op.invoke) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) {
+        continue;
+      }
+      if (op.is_scan) {
+        if (op.result != state) {
+          continue;  // inconsistent here; try another op
+        }
+        if (dfs(mask | (std::uint64_t{1} << i), state)) {
+          return true;
+        }
+      } else {
+        View next = state;
+        next.at(op.component) = op.value;
+        if (dfs(mask | (std::uint64_t{1} << i), next)) {
+          return true;
+        }
+      }
+    }
+    failed.insert(k);
+    return false;
+  }
+};
+
+}  // namespace
+
+bool is_linearizable_snapshot(const std::vector<HistOp>& hist, std::size_t m) {
+  if (hist.size() > 63) {
+    throw std::invalid_argument("history too long for the exact checker");
+  }
+  Search search;
+  search.hist = &hist;
+  search.m = m;
+  return search.dfs(0, View(m));
+}
+
+bool is_aba_free(const std::vector<std::pair<std::size_t, Val>>& writes) {
+  // Per component: the sequence of values must never revisit a value after
+  // leaving it.  (Consecutive equal writes do not change the value, so they
+  // do not count as an ABA.)
+  std::unordered_set<std::string> left;  // values a component moved away from
+  std::unordered_map<std::size_t, Val> current;
+  for (const auto& [comp, val] : writes) {
+    auto it = current.find(comp);
+    if (it != current.end() && it->second != val) {
+      left.insert(std::to_string(comp) + ":" + std::to_string(it->second));
+      if (left.contains(std::to_string(comp) + ":" + std::to_string(val))) {
+        return false;
+      }
+    }
+    current[comp] = val;
+  }
+  return true;
+}
+
+}  // namespace revisim::check

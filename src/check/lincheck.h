@@ -1,0 +1,42 @@
+// Linearizability checking for snapshot-object histories (Herlihy-Wing
+// semantics, Wing-Gong style search).
+//
+// The from-registers snapshot implementations (memory/afek_snapshot.h,
+// memory/collect_snapshot.h) are validated by recording complete operation
+// histories - invocation/response times plus arguments and results - and
+// searching for a legal sequential witness that respects real-time order.
+// Histories at model scale are small, so an exponential search with
+// memoization on (linearized-set, object-state) is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/value.h"
+
+namespace revisim::check {
+
+struct HistOp {
+  std::size_t process = 0;
+  std::size_t invoke = 0;   // global step count at invocation
+  std::size_t respond = 0;  // global step count at response
+  bool is_scan = false;
+  std::size_t component = 0;  // update only
+  Val value = 0;              // update only
+  View result;                // scan only
+};
+
+// True iff the history of scans/updates on an m-component snapshot object is
+// linearizable.  All operations must be complete.
+[[nodiscard]] bool is_linearizable_snapshot(const std::vector<HistOp>& hist,
+                                            std::size_t m);
+
+// ABA-freedom (§5.3): no component takes a value, changes, and takes the
+// same value again.  `writes` is the chronological (component, value)
+// sequence of applied updates.  Protocols over max-registers or
+// fetch-and-increments are ABA-free by construction; plain-register
+// protocols need the Corollary 36 tagging.
+[[nodiscard]] bool is_aba_free(
+    const std::vector<std::pair<std::size_t, Val>>& writes);
+
+}  // namespace revisim::check

@@ -1,0 +1,153 @@
+#include "src/check/protocol_check.h"
+
+#include <deque>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace revisim::check {
+namespace {
+
+// Enumerates the non-empty subsets of {0..n-1} of size <= x.
+void subsets_up_to(std::size_t n, std::size_t x,
+                   std::vector<std::vector<std::size_t>>& out) {
+  std::vector<std::size_t> cur;
+  std::function<void(std::size_t)> rec = [&](std::size_t from) {
+    if (!cur.empty()) {
+      out.push_back(cur);
+    }
+    if (cur.size() == x) {
+      return;
+    }
+    for (std::size_t i = from; i < n; ++i) {
+      cur.push_back(i);
+      rec(i + 1);
+      cur.pop_back();
+    }
+  };
+  rec(0);
+}
+
+}  // namespace
+
+ExploreResult explore(const proto::Protocol& protocol,
+                      const std::vector<Val>& inputs,
+                      const tasks::ColorlessTask& task,
+                      const ExploreOptions& options) {
+  ExploreResult res;
+  std::unordered_set<std::string> seen;
+  struct Node {
+    proto::ProtocolRun cfg;
+    std::size_t depth;
+  };
+  std::deque<Node> frontier;
+
+  std::vector<std::vector<std::size_t>> probe_sets;
+  if (options.check_termination) {
+    subsets_up_to(inputs.size(), options.x == 0 ? 1 : options.x, probe_sets);
+  }
+
+  proto::ProtocolRun init(protocol, inputs);
+  seen.insert(init.state_key());
+  frontier.push_back(Node{std::move(init), 0});
+
+  while (!frontier.empty()) {
+    if (res.states_visited >= options.max_states) {
+      res.exhausted = false;
+      return res;
+    }
+    Node node = std::move(frontier.front());
+    proto::ProtocolRun& cfg = node.cfg;
+    frontier.pop_front();
+    ++res.states_visited;
+
+    // Safety: the partial output set must already be valid.
+    auto verdict = task.validate(inputs, cfg.outputs());
+    if (!verdict.ok && !res.safety_violation) {
+      res.safety_violation = verdict.reason + " [state " + cfg.state_key() + "]";
+      return res;
+    }
+
+    // Termination probes from this configuration.
+    if (options.check_termination) {
+      for (const auto& set : probe_sets) {
+        bool all_done = true;
+        for (std::size_t i : set) {
+          if (!cfg.done(i)) {
+            all_done = false;
+          }
+        }
+        if (all_done) {
+          continue;
+        }
+        proto::ProtocolRun probe = cfg;
+        const bool finished =
+            set.size() == 1
+                ? probe.run_solo(set[0], options.solo_budget)
+                : probe.run_fair(set, options.solo_budget);
+        if (!finished && !res.termination_violation) {
+          std::ostringstream why;
+          why << "subset {";
+          for (std::size_t i : set) {
+            why << ' ' << i;
+          }
+          why << " } fails to terminate within " << options.solo_budget
+              << " steps [state " << cfg.state_key() << "]";
+          res.termination_violation = why.str();
+          return res;
+        }
+        // The probe's final outputs must also be safe.
+        auto v2 = task.validate(inputs, probe.outputs());
+        if (!v2.ok && !res.safety_violation) {
+          res.safety_violation =
+              v2.reason + " [after solo/fair run from " + cfg.state_key() + "]";
+          return res;
+        }
+      }
+    }
+
+    // Expand successors up to the depth bound.
+    if (node.depth >= options.max_depth) {
+      continue;
+    }
+    for (std::size_t i = 0; i < cfg.processes(); ++i) {
+      if (cfg.done(i)) {
+        continue;
+      }
+      proto::ProtocolRun next = cfg;
+      next.step(i);
+      auto key = next.state_key();
+      if (seen.insert(std::move(key)).second) {
+        frontier.push_back(Node{std::move(next), node.depth + 1});
+      }
+    }
+  }
+  return res;
+}
+
+StressResult stress(const proto::Protocol& protocol,
+                    const std::vector<Val>& inputs,
+                    const tasks::ColorlessTask& task, std::size_t runs,
+                    std::uint64_t seed0, std::size_t max_steps) {
+  StressResult res;
+  res.runs = runs;
+  for (std::size_t r = 0; r < runs; ++r) {
+    proto::ProtocolRun run(protocol, inputs);
+    const bool finished = run.run_random(seed0 + r, max_steps);
+    if (!finished) {
+      ++res.unfinished;
+    }
+    auto verdict = task.validate(inputs, run.outputs());
+    if (!verdict.ok) {
+      ++res.violations;
+      if (!res.example) {
+        res.example = verdict.reason + " [seed " + std::to_string(seed0 + r) +
+                      "]";
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace revisim::check

@@ -1,0 +1,77 @@
+// Exhaustive state-space checker for simulated-system protocols.
+//
+// Because a ProtocolRun configuration is a value with a canonical key, we
+// can do plain explicit-state model checking: breadth-first exploration of
+// every reachable configuration (deduplicated), checking a safety predicate
+// on outputs in every configuration, and probing obstruction-freedom by
+// running solo/fair executions from every reachable configuration.
+//
+// On tiny instances this is a *proof* about the instance, which is how the
+// reproduction substantiates tightness claims the paper makes (e.g. the
+// 2-register 2-process consensus protocol survives exhaustive search while
+// every 1-register configuration admits a violation; EXPERIMENTS.md E7).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/protocols/protocol_runner.h"
+#include "src/tasks/task_spec.h"
+
+namespace revisim::check {
+
+struct ExploreOptions {
+  std::size_t max_states = 2'000'000;   // exploration cap
+  // Depth bound: explore configurations reachable within this many steps.
+  // Obstruction-free protocols have unbounded adversarial executions (FLP),
+  // so unbounded exploration never exhausts; bounded exploration is a proof
+  // about every schedule prefix of this length.
+  std::size_t max_depth = 40;
+  std::size_t solo_budget = 100'000;    // steps allowed for a solo run
+  std::size_t x = 0;                    // if > 0, probe x-obstruction-freedom
+                                        // (fair runs of every subset <= x)
+  bool check_termination = true;        // probe solo/fair termination
+};
+
+struct ExploreResult {
+  std::size_t states_visited = 0;
+  bool exhausted = true;  // false iff max_states hit (depth cut is normal)
+  // First safety violation found, if any.
+  std::optional<std::string> safety_violation;
+  // First termination (obstruction-freedom) violation found, if any.
+  std::optional<std::string> termination_violation;
+
+  [[nodiscard]] bool ok() const {
+    return !safety_violation && !termination_violation;
+  }
+};
+
+// Explores every configuration of `protocol` on `inputs` reachable by any
+// schedule.  In every configuration the partial output set is validated
+// against `task`; if options.check_termination, every live process is run
+// solo from every configuration (and, with options.x >= 1, every subset of
+// size <= x fairly) and must output within the budget.
+ExploreResult explore(const proto::Protocol& protocol,
+                      const std::vector<Val>& inputs,
+                      const tasks::ColorlessTask& task,
+                      const ExploreOptions& options = {});
+
+// Randomized variant for instances too big to exhaust: `runs` random
+// schedules, validating outputs after each.  Returns the number of runs
+// whose outputs violated the task, with an example reason.
+struct StressResult {
+  std::size_t runs = 0;
+  std::size_t violations = 0;
+  std::size_t unfinished = 0;
+  std::optional<std::string> example;
+};
+
+StressResult stress(const proto::Protocol& protocol,
+                    const std::vector<Val>& inputs,
+                    const tasks::ColorlessTask& task, std::size_t runs,
+                    std::uint64_t seed0, std::size_t max_steps = 200'000);
+
+}  // namespace revisim::check

@@ -1,0 +1,56 @@
+// Atomic single-writer snapshot object, the base object of the *real* system
+// (§2.1).  Component i may only be updated by real process q_{i+1}; scans are
+// atomic and return all f components.
+//
+// The component type is generic because the augmented snapshot stores
+// structured per-process logs (update triples plus helping records) in its
+// single-writer snapshot H.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/runtime/scheduler.h"
+
+namespace revisim::mem {
+
+template <typename T>
+class SWSnapshot {
+ public:
+  SWSnapshot(runtime::Scheduler& sched, std::string name, std::size_t f)
+      : sched_(sched),
+        id_(sched.register_object(std::move(name))),
+        comps_(f) {}
+
+  [[nodiscard]] std::size_t components() const noexcept { return comps_.size(); }
+
+  runtime::StepAwaiter<std::vector<T>> scan() {
+    return {sched_, [this] { return comps_; }, id_, runtime::StepKind::kScan,
+            {}};
+  }
+
+  // Replaces the caller's own component.  The model enforces the
+  // single-writer discipline: writing another process's component is a
+  // protocol bug, not an adversary move, so it throws.
+  runtime::StepAwaiter<void> update(T v) {
+    return {sched_,
+            [this, v = std::move(v)]() mutable {
+              const auto writer = sched_.current();
+              if (writer >= comps_.size()) {
+                throw std::logic_error("sw-snapshot: writer out of range");
+              }
+              comps_[writer] = std::move(v);
+            },
+            id_, runtime::StepKind::kUpdate, {}};
+  }
+
+  [[nodiscard]] const std::vector<T>& peek() const noexcept { return comps_; }
+
+ private:
+  runtime::Scheduler& sched_;
+  std::size_t id_;
+  std::vector<T> comps_;
+};
+
+}  // namespace revisim::mem

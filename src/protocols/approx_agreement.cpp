@@ -1,0 +1,114 @@
+#include "src/protocols/approx_agreement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace revisim::proto {
+
+namespace {
+// Layout: bits [34..57] round, bits [0..33] fixed-point value in [0, 2^33].
+constexpr int kValueBits = 34;
+constexpr Val kValueMask = (Val{1} << kValueBits) - 1;
+}  // namespace
+
+Val pack_approx(std::uint32_t round, Val fixed_value) noexcept {
+  return (static_cast<Val>(round) << kValueBits) | (fixed_value & kValueMask);
+}
+
+std::uint32_t approx_round(Val packed) noexcept {
+  return static_cast<std::uint32_t>(packed >> kValueBits);
+}
+
+Val approx_value(Val packed) noexcept { return packed & kValueMask; }
+
+ApproxAgreement::ApproxAgreement(std::size_t n, std::size_t m, double epsilon)
+    : n_(n), m_(m), epsilon_(epsilon) {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw std::invalid_argument("epsilon must be in (0,1)");
+  }
+  rounds_ =
+      static_cast<std::size_t>(std::ceil(std::log2(1.0 / epsilon))) + 1;
+}
+
+std::string ApproxAgreement::name() const {
+  return "approx(n=" + std::to_string(n_) + ",m=" + std::to_string(m_) +
+         ",eps=" + std::to_string(epsilon_) + ")";
+}
+
+namespace {
+
+class ApproxProcess final : public SimProcess {
+ public:
+  ApproxProcess(std::size_t my_comp, Val fixed_input, std::uint32_t target)
+      : my_comp_(my_comp), value_(fixed_input), target_(target) {}
+
+  SimAction on_scan(const View& view) override {
+    if (round_ == 0) {
+      // Initial scan: publish the input at round 1.
+      round_ = 1;
+      return SimAction::make_update(my_comp_, pack_approx(round_, value_));
+    }
+    // Highest visible round (my own entry is visible unless a collider
+    // overwrote it, which only happens in space-starved instances).
+    std::uint32_t rmax = 0;
+    for (const auto& c : view) {
+      if (c) {
+        rmax = std::max(rmax, approx_round(*c));
+      }
+    }
+    if (rmax > round_) {
+      // Jump: copy a round-rmax value (deterministically the first).
+      for (const auto& c : view) {
+        if (c && approx_round(*c) == rmax) {
+          value_ = approx_value(*c);
+          break;
+        }
+      }
+      round_ = rmax;
+    } else {
+      // Midpoint of the visible values of my round.
+      Val lo = value_;
+      Val hi = value_;
+      for (const auto& c : view) {
+        if (c && approx_round(*c) == round_) {
+          lo = std::min(lo, approx_value(*c));
+          hi = std::max(hi, approx_value(*c));
+        }
+      }
+      value_ = (lo + hi) / 2;
+      round_ += 1;
+    }
+    if (round_ > target_) {
+      return SimAction::make_output(value_);
+    }
+    return SimAction::make_update(my_comp_, pack_approx(round_, value_));
+  }
+
+  [[nodiscard]] std::unique_ptr<SimProcess> clone() const override {
+    return std::make_unique<ApproxProcess>(*this);
+  }
+
+  [[nodiscard]] std::string state_key() const override {
+    return "A" + std::to_string(round_) + "v" + std::to_string(value_);
+  }
+
+ private:
+  std::size_t my_comp_;
+  Val value_;            // fixed point, 34-bit scale
+  std::uint32_t target_;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SimProcess> ApproxAgreement::make(std::size_t index,
+                                                  Val input) const {
+  // Inputs arrive as 32-bit fixed point (util/value.h); rescale to the
+  // 33-bit internal scale so midpoints stay exact longer.
+  const Val fixed = input << 1;
+  return std::make_unique<ApproxProcess>(index % m_, fixed,
+                                         static_cast<std::uint32_t>(rounds_));
+}
+
+}  // namespace revisim::proto

@@ -1,0 +1,53 @@
+// Asynchronous epsilon-approximate agreement by round halving (§2, "Tasks";
+// the n-register upper bound the paper attributes to [9]).
+//
+// Process i publishes (round, value) in component i; on each scan it either
+// jumps to the highest visible round (copying one of its values) or replaces
+// its value by the midpoint of the visible values of its own round and
+// advances.  Any two midpoint computations of one round share a visible
+// value, so the round-r value spread is at most 2^{-(r-1)}; after
+// R = ceil(log2(1/eps)) + 1 rounds all outputs are within eps, and every
+// value is a midpoint or copy, hence within [min input, max input].
+// The protocol is wait-free: every scan strictly advances the round.
+//
+// The constructor takes the component count m separately from n: with m = n
+// this is the correct single-writer protocol; with m < n processes collide
+// on components (i mod m), which preserves wait-freedom but starves the
+// protocol of space - the instances the paper's Theorem 21(1)/Corollary 34
+// reduction is about (EXPERIMENTS.md, E6).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/protocols/sim_process.h"
+
+namespace revisim::proto {
+
+class ApproxAgreement final : public Protocol {
+ public:
+  // n processes over m components; values in [0,1] as fixed point; outputs
+  // within `epsilon` of each other when m = n.
+  ApproxAgreement(std::size_t n, std::size_t m, double epsilon);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t components() const override { return m_; }
+  [[nodiscard]] std::unique_ptr<SimProcess> make(std::size_t index,
+                                                 Val input) const override;
+
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+  double epsilon_;
+  std::size_t rounds_;
+};
+
+// Packing helpers shared with tests: (round, fixed-point value).
+[[nodiscard]] Val pack_approx(std::uint32_t round, Val fixed_value) noexcept;
+[[nodiscard]] std::uint32_t approx_round(Val packed) noexcept;
+[[nodiscard]] Val approx_value(Val packed) noexcept;
+
+}  // namespace revisim::proto

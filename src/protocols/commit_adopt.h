@@ -1,0 +1,54 @@
+// One-shot commit-adopt from single-writer components - the safety core of
+// the round-based consensus witness (ca_consensus.h), isolated so its
+// defining properties can be verified directly.
+//
+// Commit-adopt (Gafni) is a wait-free task: each process proposes a value
+// and returns (commit, v) or (adopt, v) such that
+//   CA1  if every proposal is v, everyone returns (commit, v);
+//   CA2  if someone returns (commit, v), everyone returns (., v);
+//   CA3  returned values are proposals.
+// It is wait-free solvable from 2n single-writer registers; here the two
+// phases are folded into one n-component snapshot exactly as in the
+// consensus protocol, so this instance uses n components.
+//
+// The protocol object below runs one CA instance: outputs encode
+// (grade, value) via pack_ca_result.  tests/commit_adopt_test.cpp checks
+// CA1-CA3 exhaustively on small instances and under random stress.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/protocols/sim_process.h"
+
+namespace revisim::proto {
+
+// Output encoding: bit 32 = commit flag, low 32 bits = value.
+[[nodiscard]] constexpr Val pack_ca_result(bool commit,
+                                           std::int32_t v) noexcept {
+  return (Val{commit ? 1 : 0} << 32) |
+         static_cast<Val>(static_cast<std::uint32_t>(v));
+}
+[[nodiscard]] constexpr bool ca_committed(Val out) noexcept {
+  return ((out >> 32) & 1) != 0;
+}
+[[nodiscard]] constexpr std::int32_t ca_value(Val out) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(out));
+}
+
+class CommitAdopt final : public Protocol {
+ public:
+  explicit CommitAdopt(std::size_t n) : n_(n) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "commit-adopt(n=" + std::to_string(n_) + ")";
+  }
+  [[nodiscard]] std::size_t components() const override { return n_; }
+  [[nodiscard]] std::unique_ptr<SimProcess> make(std::size_t index,
+                                                 Val input) const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace revisim::proto

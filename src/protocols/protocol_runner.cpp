@@ -1,0 +1,155 @@
+#include "src/protocols/protocol_runner.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace revisim::proto {
+
+ProtocolRun::ProtocolRun(const Protocol& protocol,
+                         const std::vector<Val>& inputs)
+    : contents_(protocol.components()) {
+  procs_.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Proc p;
+    p.sm = protocol.make(i, inputs[i]);
+    procs_.push_back(std::move(p));
+  }
+}
+
+ProtocolRun::ProtocolRun(const ProtocolRun& other) { *this = other; }
+
+ProtocolRun& ProtocolRun::operator=(const ProtocolRun& other) {
+  if (this == &other) {
+    return *this;
+  }
+  contents_ = other.contents_;
+  log_ = other.log_;
+  procs_.clear();
+  procs_.reserve(other.procs_.size());
+  for (const Proc& p : other.procs_) {
+    Proc q;
+    q.sm = p.sm->clone();
+    q.pending = p.pending;
+    q.output = p.output;
+    q.steps = p.steps;
+    procs_.push_back(std::move(q));
+  }
+  return *this;
+}
+
+bool ProtocolRun::all_done() const {
+  for (const Proc& p : procs_) {
+    if (!p.output) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Val> ProtocolRun::outputs() const {
+  std::vector<Val> out;
+  for (const Proc& p : procs_) {
+    if (p.output) {
+      out.push_back(*p.output);
+    }
+  }
+  return out;
+}
+
+void ProtocolRun::step(std::size_t i) {
+  Proc& p = procs_.at(i);
+  if (p.output) {
+    return;
+  }
+  ++p.steps;
+  if (p.pending) {
+    // Pending update: apply it atomically.
+    contents_.at(p.pending->component) = p.pending->value;
+    log_.push_back(StepRecord{i, true, p.pending->component, p.pending->value});
+    p.pending.reset();
+    return;
+  }
+  // Pending scan: feed the current contents.
+  log_.push_back(StepRecord{i, false, 0, 0});
+  SimAction act = p.sm->on_scan(contents_);
+  if (act.kind == SimAction::Kind::kOutput) {
+    p.output = act.output;
+  } else {
+    if (act.component >= contents_.size()) {
+      throw std::out_of_range("protocol updated component out of range");
+    }
+    p.pending = act;
+  }
+}
+
+bool ProtocolRun::run_solo(std::size_t i, std::size_t max_steps) {
+  for (std::size_t s = 0; s < max_steps; ++s) {
+    if (procs_.at(i).output) {
+      return true;
+    }
+    step(i);
+  }
+  return procs_.at(i).output.has_value();
+}
+
+bool ProtocolRun::run_fair(const std::vector<std::size_t>& set,
+                           std::size_t max_steps) {
+  std::size_t taken = 0;
+  for (;;) {
+    bool any = false;
+    for (std::size_t i : set) {
+      if (!procs_.at(i).output) {
+        if (taken++ >= max_steps) {
+          return false;
+        }
+        step(i);
+        any = true;
+      }
+    }
+    if (!any) {
+      return true;
+    }
+  }
+}
+
+bool ProtocolRun::run_random(std::uint64_t seed, std::size_t max_steps) {
+  std::mt19937_64 rng(seed);
+  for (std::size_t s = 0; s < max_steps; ++s) {
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      if (!procs_[i].output) {
+        live.push_back(i);
+      }
+    }
+    if (live.empty()) {
+      return true;
+    }
+    std::uniform_int_distribution<std::size_t> dist(0, live.size() - 1);
+    step(live[dist(rng)]);
+  }
+  return all_done();
+}
+
+std::string ProtocolRun::state_key() const {
+  std::ostringstream out;
+  for (const auto& c : contents_) {
+    out << (c ? std::to_string(*c) : "_") << '|';
+  }
+  out << '#';
+  for (const Proc& p : procs_) {
+    if (p.output) {
+      out << "D" << *p.output;
+    } else {
+      out << p.sm->state_key();
+      if (p.pending) {
+        out << ">u" << p.pending->component << '=' << p.pending->value;
+      } else {
+        out << ">s";
+      }
+    }
+    out << ';';
+  }
+  return out.str();
+}
+
+}  // namespace revisim::proto

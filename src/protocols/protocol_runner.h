@@ -1,0 +1,89 @@
+// Direct executor for simulated-system protocols.
+//
+// Runs n SimProcess state machines against an atomic m-component snapshot at
+// shared-memory-step granularity (a scan and an update are separate atomic
+// steps), under any schedule.  Unlike the coroutine runtime, the entire
+// configuration here is a value: it can be copied, hashed and restored,
+// which the protocol model checker (src/check/protocol_check.h) and the
+// obstruction-freedom probes rely on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/protocols/sim_process.h"
+
+namespace revisim::proto {
+
+class ProtocolRun {
+ public:
+  // Builds the initial configuration: process i gets inputs[i].
+  ProtocolRun(const Protocol& protocol, const std::vector<Val>& inputs);
+  ProtocolRun(const ProtocolRun& other);
+  ProtocolRun& operator=(const ProtocolRun& other);
+  ProtocolRun(ProtocolRun&&) noexcept = default;
+  ProtocolRun& operator=(ProtocolRun&&) noexcept = default;
+
+  [[nodiscard]] std::size_t processes() const noexcept { return procs_.size(); }
+  [[nodiscard]] bool done(std::size_t i) const { return procs_.at(i).output.has_value(); }
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] std::optional<Val> output(std::size_t i) const {
+    return procs_.at(i).output;
+  }
+  [[nodiscard]] std::vector<Val> outputs() const;  // finished processes only
+  [[nodiscard]] const View& contents() const noexcept { return contents_; }
+  [[nodiscard]] std::size_t steps_taken(std::size_t i) const {
+    return procs_.at(i).steps;
+  }
+
+  // One atomic step by process i: the pending scan (feeding current
+  // contents) or the pending update.  No-op if the process has output.
+  void step(std::size_t i);
+
+  // Runs process i alone until it outputs or the step budget runs out;
+  // returns true iff it output.  This is the defining schedule of
+  // obstruction-freedom.
+  bool run_solo(std::size_t i, std::size_t max_steps);
+
+  // Runs the given set of processes round-robin until all output or the
+  // budget runs out; returns true iff all output.  With |set| <= x this is
+  // the canonical x-obstruction-freedom schedule.
+  bool run_fair(const std::vector<std::size_t>& set, std::size_t max_steps);
+
+  // Runs all processes under a seeded random schedule.
+  bool run_random(std::uint64_t seed, std::size_t max_steps);
+
+  // Step log: every applied atomic step, in execution order (used by the
+  // ABA-freedom and halving-invariant checks).
+  struct StepRecord {
+    std::size_t process;
+    bool is_update;
+    std::size_t component;
+    Val value;
+  };
+  [[nodiscard]] const std::vector<StepRecord>& log() const noexcept {
+    return log_;
+  }
+
+  // Canonical encoding of the full configuration (contents + every process's
+  // state, pending action and output), for state-space deduplication.
+  [[nodiscard]] std::string state_key() const;
+
+ private:
+  struct Proc {
+    std::unique_ptr<SimProcess> sm;
+    std::optional<SimAction> pending;  // poised update, if any
+    std::optional<Val> output;
+    std::size_t steps = 0;
+  };
+
+  View contents_;
+  std::vector<Proc> procs_;
+  std::vector<StepRecord> log_;
+};
+
+}  // namespace revisim::proto

@@ -1,0 +1,43 @@
+// Racing agreement over an m-component multi-writer snapshot.
+//
+// Each process carries a (round, value) pair; on every scan it adopts the
+// lexicographically largest visible pair, escalates the round on a
+// same-round value conflict, outputs its value when all m components hold
+// its exact pair, and otherwise overwrites the first disagreeing component.
+//
+// The protocol is obstruction-free for every m >= 1 (a solo process writes
+// its pair everywhere, sees a uniform snapshot and decides) and x-
+// obstruction-free terminating for every x, but its *safety* depends on m:
+// this is precisely the protocol family the reproduction uses to exercise
+// the paper's reduction.  Instances with m below the paper's bound
+// floor((n-x)/(k+1-x)) + 1 cannot be correct (Corollary 33), and the
+// revisionist simulation run against them manufactures concrete agreement
+// violations; the protocol model checker maps the empirical safety boundary
+// on small instances (EXPERIMENTS.md, E5/E7).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/protocols/sim_process.h"
+
+namespace revisim::proto {
+
+class RacingAgreement final : public Protocol {
+ public:
+  // n processes racing over m components.
+  RacingAgreement(std::size_t n, std::size_t m) : n_(n), m_(m) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "racing(n=" + std::to_string(n_) + ",m=" + std::to_string(m_) + ")";
+  }
+  [[nodiscard]] std::size_t components() const override { return m_; }
+  [[nodiscard]] std::unique_ptr<SimProcess> make(std::size_t index,
+                                                 Val input) const override;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+};
+
+}  // namespace revisim::proto

@@ -1,0 +1,60 @@
+// Umbrella header: the full public API of the reproduction.
+//
+// Layering (each include group may be used on its own):
+//   runtime   - the asynchronous model (coroutines, scheduler, adversaries)
+//   memory    - base objects: registers and snapshots
+//   augmented - Section 3: the augmented snapshot and its linearizer
+//   protocols - simulated-system protocols (Assumption 1 state machines)
+//   tasks     - colorless task specifications and validators
+//   sim       - Section 4: the revisionist simulation and its validator
+//   solo      - Section 5: nondeterminism, determinization, ABA-freedom
+//   bounds    - closed forms of §4.5/§4.6
+//   check     - model checkers and linearizability checking
+#pragma once
+
+#include "src/runtime/adversary.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/task.h"
+#include "src/runtime/trace.h"
+
+#include "src/memory/afek_snapshot.h"
+#include "src/memory/collect_snapshot.h"
+#include "src/memory/mw_snapshot.h"
+#include "src/memory/register.h"
+#include "src/memory/sw_snapshot.h"
+
+#include "src/augmented/augmented_snapshot.h"
+#include "src/augmented/history.h"
+#include "src/augmented/hstate.h"
+#include "src/augmented/linearizer.h"
+#include "src/augmented/timestamp.h"
+
+#include "src/protocols/approx_agreement.h"
+#include "src/protocols/ca_consensus.h"
+#include "src/protocols/commit_adopt.h"
+#include "src/protocols/protocol_runner.h"
+#include "src/protocols/racing_agreement.h"
+#include "src/protocols/sim_process.h"
+
+#include "src/tasks/colorless.h"
+#include "src/tasks/task_spec.h"
+
+#include "src/sim/covering_simulator.h"
+#include "src/sim/direct_simulator.h"
+#include "src/sim/driver.h"
+#include "src/sim/replay.h"
+#include "src/sim/types.h"
+
+#include "src/solo/aba_free.h"
+#include "src/solo/determinize.h"
+#include "src/solo/nd_protocol.h"
+#include "src/solo/randomized_runner.h"
+#include "src/solo/solo_search.h"
+
+#include "src/bounds/bounds.h"
+
+#include "src/check/lincheck.h"
+#include "src/check/model_check.h"
+#include "src/check/protocol_check.h"
+
+#include "src/util/value.h"

@@ -1,0 +1,65 @@
+#include "src/runtime/adversary.h"
+
+#include <algorithm>
+
+#include "src/runtime/scheduler.h"
+
+namespace revisim::runtime {
+
+std::optional<ProcessId> RoundRobinAdversary::pick(
+    const std::vector<ProcessId>& runnable, const Scheduler& sched) {
+  (void)sched;
+  // First runnable id >= next_, wrapping around.
+  auto it = std::lower_bound(runnable.begin(), runnable.end(), next_);
+  ProcessId chosen = (it != runnable.end()) ? *it : runnable.front();
+  next_ = chosen + 1;
+  return chosen;
+}
+
+std::optional<ProcessId> RandomAdversary::pick(
+    const std::vector<ProcessId>& runnable, const Scheduler& sched) {
+  (void)sched;
+  std::uniform_int_distribution<std::size_t> dist(0, runnable.size() - 1);
+  return runnable[dist(rng_)];
+}
+
+std::optional<ProcessId> BurstAdversary::pick(
+    const std::vector<ProcessId>& runnable, const Scheduler& sched) {
+  (void)sched;
+  if (current_ && remaining_ > 0 &&
+      std::binary_search(runnable.begin(), runnable.end(), *current_)) {
+    --remaining_;
+    return *current_;
+  }
+  std::uniform_int_distribution<std::size_t> pick_proc(0, runnable.size() - 1);
+  std::uniform_int_distribution<std::size_t> pick_len(1, max_burst_);
+  current_ = runnable[pick_proc(rng_)];
+  remaining_ = pick_len(rng_) - 1;
+  return *current_;
+}
+
+std::optional<ProcessId> ScriptedAdversary::pick(
+    const std::vector<ProcessId>& runnable, const Scheduler& sched) {
+  while (pos_ < script_.size()) {
+    ProcessId want = script_[pos_++];
+    if (std::binary_search(runnable.begin(), runnable.end(), want)) {
+      return want;
+    }
+    // Scripted process already finished; skip the stale entry.
+  }
+  if (stop_at_end_) {
+    return std::nullopt;
+  }
+  return tail_.pick(runnable, sched);
+}
+
+std::optional<ProcessId> SoloAdversary::pick(
+    const std::vector<ProcessId>& runnable, const Scheduler& sched) {
+  (void)sched;
+  if (std::binary_search(runnable.begin(), runnable.end(), only_)) {
+    return only_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace revisim::runtime

@@ -1,0 +1,96 @@
+// Schedule adversaries.
+//
+// The scheduler asks an Adversary which poised process moves next; the
+// adversary embodies the asynchronous model's scheduler.  Returning
+// std::nullopt ends the execution (used to cut partial executions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "src/runtime/trace.h"
+
+namespace revisim::runtime {
+
+class Scheduler;
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  // `runnable` is non-empty and sorted by process id.
+  virtual std::optional<ProcessId> pick(const std::vector<ProcessId>& runnable,
+                                        const Scheduler& sched) = 0;
+};
+
+// Cycles through processes in id order; the fair synchronous schedule.
+class RoundRobinAdversary final : public Adversary {
+ public:
+  std::optional<ProcessId> pick(const std::vector<ProcessId>& runnable,
+                                const Scheduler& sched) override;
+
+ private:
+  ProcessId next_ = 0;
+};
+
+// Uniform random schedule from a seed; the workhorse of stress tests.
+class RandomAdversary final : public Adversary {
+ public:
+  explicit RandomAdversary(std::uint64_t seed) : rng_(seed) {}
+  std::optional<ProcessId> pick(const std::vector<ProcessId>& runnable,
+                                const Scheduler& sched) override;
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+// Runs one process exclusively for a random burst length, then switches;
+// models the semi-synchronous runs under which obstruction-free protocols
+// make progress, while still exercising contention at burst boundaries.
+class BurstAdversary final : public Adversary {
+ public:
+  BurstAdversary(std::uint64_t seed, std::size_t max_burst)
+      : rng_(seed), max_burst_(max_burst) {}
+  std::optional<ProcessId> pick(const std::vector<ProcessId>& runnable,
+                                const Scheduler& sched) override;
+
+ private:
+  std::mt19937_64 rng_;
+  std::size_t max_burst_;
+  std::optional<ProcessId> current_;
+  std::size_t remaining_ = 0;
+};
+
+// Replays a fixed schedule prefix, then falls back to a tail policy
+// (round-robin).  The model checker enumerates prefixes through this.
+class ScriptedAdversary final : public Adversary {
+ public:
+  explicit ScriptedAdversary(std::vector<ProcessId> script,
+                             bool stop_at_end = false)
+      : script_(std::move(script)), stop_at_end_(stop_at_end) {}
+  std::optional<ProcessId> pick(const std::vector<ProcessId>& runnable,
+                                const Scheduler& sched) override;
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::vector<ProcessId> script_;
+  bool stop_at_end_;
+  std::size_t pos_ = 0;
+  RoundRobinAdversary tail_;
+};
+
+// Lets exactly one process run; everything else is frozen.  Solo executions
+// are the defining schedules of obstruction-freedom.
+class SoloAdversary final : public Adversary {
+ public:
+  explicit SoloAdversary(ProcessId only) : only_(only) {}
+  std::optional<ProcessId> pick(const std::vector<ProcessId>& runnable,
+                                const Scheduler& sched) override;
+
+ private:
+  ProcessId only_;
+};
+
+}  // namespace revisim::runtime

@@ -1,0 +1,139 @@
+#include "src/runtime/scheduler.h"
+
+#include "src/runtime/adversary.h"
+
+namespace revisim::runtime {
+
+Scheduler::Scheduler() = default;
+Scheduler::~Scheduler() = default;
+
+std::size_t Scheduler::register_object(std::string name) {
+  object_names_.push_back(std::move(name));
+  return object_names_.size() - 1;
+}
+
+ProcessId Scheduler::spawn(Task<void> body, std::string name) {
+  auto p = std::make_unique<Process>();
+  p->body = std::move(body);
+  p->name = std::move(name);
+  procs_.push_back(std::move(p));
+  return procs_.size() - 1;
+}
+
+std::vector<ProcessId> Scheduler::runnable() const {
+  std::vector<ProcessId> out;
+  for (ProcessId i = 0; i < procs_.size(); ++i) {
+    const Process& p = *procs_[i];
+    if (!p.done && (!p.started || p.poised)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+bool Scheduler::all_done() const {
+  for (const auto& p : procs_) {
+    if (!p->done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Scheduler::post_step(std::coroutine_handle<> resumer,
+                          std::function<void()> exec, std::size_t object,
+                          StepKind kind, std::string detail) {
+  assert(in_step_ || !procs_[current_]->started);
+  Process& p = *procs_[current_];
+  assert(!p.poised);
+  p.resumer = resumer;
+  p.exec = std::move(exec);
+  p.step_object = object;
+  p.step_kind = kind;
+  p.step_detail = std::move(detail);
+  p.poised = true;
+}
+
+void Scheduler::run_step(ProcessId pid) {
+  Process& p = *procs_.at(pid);
+  if (p.done) {
+    throw std::logic_error("run_step on finished process");
+  }
+  current_ = pid;
+  in_step_ = true;
+  if (!p.started) {
+    // First activation: run local prologue until the first poised step or
+    // completion.  The prologue itself is free local computation, so we do
+    // not charge a step unless an operation was actually posed and executed.
+    p.started = true;
+    p.body.resume();
+    finish_if_done(p);
+    if (!p.done && !p.poised) {
+      in_step_ = false;
+      throw std::logic_error("process suspended without posting a step");
+    }
+    // If the prologue immediately poised a step, grant it now so that one
+    // run_step == one base-object step for started processes too.
+    if (!p.done) {
+      execute_poised_step(p, pid);
+    }
+    in_step_ = false;
+    return;
+  }
+  if (!p.poised) {
+    in_step_ = false;
+    throw std::logic_error("run_step on process with no poised step");
+  }
+  execute_poised_step(p, pid);
+  in_step_ = false;
+}
+
+void Scheduler::execute_poised_step(Process& p, ProcessId pid) {
+  p.poised = false;
+  trace_.events.push_back(Event{trace_.size(), pid, p.step_object, p.step_kind,
+                                std::move(p.step_detail)});
+  ++p.steps;
+  p.exec();          // the atomic operation on the object
+  auto resumer = p.resumer;
+  p.exec = nullptr;
+  p.resumer = {};
+  resumer.resume();  // local computation until next poised step / completion
+  finish_if_done(p);
+  if (!p.done && !p.poised) {
+    throw std::logic_error("process suspended without posting a step");
+  }
+}
+
+void Scheduler::finish_if_done(Process& p) {
+  if (p.body.done()) {
+    p.done = true;
+    p.poised = false;
+    p.body.rethrow_if_failed();
+  }
+}
+
+bool Scheduler::run(Adversary& adversary, std::size_t max_steps,
+                    bool throw_on_limit) {
+  std::size_t steps = 0;
+  while (!all_done()) {
+    auto candidates = runnable();
+    if (candidates.empty()) {
+      return false;  // deadlock cannot happen in this model; defensive
+    }
+    if (steps >= max_steps) {
+      if (throw_on_limit) {
+        throw StepLimitExceeded(max_steps);
+      }
+      return false;
+    }
+    auto choice = adversary.pick(candidates, *this);
+    if (!choice) {
+      return false;  // adversary ended the execution
+    }
+    run_step(*choice);
+    ++steps;
+  }
+  return true;
+}
+
+}  // namespace revisim::runtime

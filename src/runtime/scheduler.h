@@ -1,0 +1,167 @@
+// Cooperative, step-granular scheduler for the asynchronous shared-memory
+// model of the paper (Section 2).
+//
+// Processes are coroutines.  Every base-object operation is one atomic step:
+// the process suspends, the scheduler (playing the adversary) picks which
+// poised process moves next, executes that process's operation against the
+// object state, and resumes the process, which then computes locally until it
+// poses its next step.  Everything runs on one OS thread, so a step is atomic
+// by construction and executions are deterministic functions of the schedule,
+// which makes them replayable (the model checker depends on this).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/task.h"
+#include "src/runtime/trace.h"
+
+namespace revisim::runtime {
+
+class Adversary;
+
+// Thrown when Scheduler::run hits its step budget with processes still live.
+// In an asynchronous model a bounded run is a legitimate (partial) execution,
+// so callers that expect non-termination catch this.
+class StepLimitExceeded : public std::runtime_error {
+ public:
+  explicit StepLimitExceeded(std::size_t limit)
+      : std::runtime_error("step limit exceeded: " + std::to_string(limit)) {}
+};
+
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Registers a shared object; the returned id appears in trace events.
+  std::size_t register_object(std::string name);
+
+  // Adds a process.  The coroutine must have been created but not started
+  // (Task is lazy).  Returns the process id (0-based; process i is the
+  // paper's q_{i+1}).
+  ProcessId spawn(Task<void> body, std::string name = {});
+
+  // Runs until every process finishes, the adversary declines to schedule, or
+  // `max_steps` steps have executed (then throws StepLimitExceeded unless
+  // `throw_on_limit` is false).  Returns true iff all processes finished.
+  bool run(Adversary& adversary, std::size_t max_steps = kDefaultMaxSteps,
+           bool throw_on_limit = true);
+
+  // Runs exactly one step by `pid`; pid must be runnable.
+  void run_step(ProcessId pid);
+
+  // Process ids whose next step is poised (or that have not started), in
+  // increasing id order.
+  [[nodiscard]] std::vector<ProcessId> runnable() const;
+
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] bool is_done(ProcessId pid) const { return procs_.at(pid)->done; }
+  [[nodiscard]] std::size_t process_count() const noexcept { return procs_.size(); }
+  [[nodiscard]] std::size_t steps_taken(ProcessId pid) const {
+    return procs_.at(pid)->steps;
+  }
+  [[nodiscard]] std::size_t total_steps() const noexcept { return trace_.size(); }
+
+  // Process currently executing a step (valid only inside a step).
+  [[nodiscard]] ProcessId current() const {
+    assert(in_step_);
+    return current_;
+  }
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const std::string& object_name(std::size_t id) const {
+    return object_names_.at(id);
+  }
+  // Number of base objects registered - the space census.  With the
+  // register substrate every object is a plain register, so this is the
+  // register count the paper's space complexity measures.
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return object_names_.size();
+  }
+
+  static constexpr std::size_t kDefaultMaxSteps = 1'000'000;
+
+  // --- used by StepAwaiter (not by user code) ---
+  void post_step(std::coroutine_handle<> resumer, std::function<void()> exec,
+                 std::size_t object, StepKind kind, std::string detail);
+
+ private:
+  struct Process {
+    Task<void> body;
+    std::string name;
+    bool started = false;
+    bool done = false;
+    std::size_t steps = 0;
+    // Poised step, if any.
+    std::coroutine_handle<> resumer;
+    std::function<void()> exec;
+    std::size_t step_object = 0;
+    StepKind step_kind = StepKind::kOther;
+    std::string step_detail;
+    bool poised = false;
+  };
+
+  void finish_if_done(Process& p);
+  void execute_poised_step(Process& p, ProcessId pid);
+
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<std::string> object_names_;
+  Trace trace_;
+  ProcessId current_ = 0;
+  bool in_step_ = false;
+};
+
+// Awaitable representing one atomic base-object step.  `op` runs when the
+// scheduler grants the step; its return value is handed back to the process.
+template <typename R>
+class StepAwaiter {
+ public:
+  StepAwaiter(Scheduler& sched, std::function<R()> op, std::size_t object,
+              StepKind kind, std::string detail)
+      : sched_(sched),
+        op_(std::move(op)),
+        object_(object),
+        kind_(kind),
+        detail_(std::move(detail)) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sched_.post_step(
+        h,
+        [this] {
+          if constexpr (std::is_void_v<R>) {
+            op_();
+          } else {
+            result_.emplace(op_());
+          }
+        },
+        object_, kind_, std::move(detail_));
+  }
+  R await_resume() {
+    if constexpr (!std::is_void_v<R>) {
+      return std::move(*result_);
+    }
+  }
+
+ private:
+  struct Empty {};
+  Scheduler& sched_;
+  std::function<R()> op_;
+  std::size_t object_;
+  StepKind kind_;
+  std::string detail_;
+  [[no_unique_address]] std::conditional_t<std::is_void_v<R>, Empty,
+                                           std::optional<R>> result_;
+};
+
+}  // namespace revisim::runtime

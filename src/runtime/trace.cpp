@@ -1,0 +1,36 @@
+#include "src/runtime/trace.h"
+
+#include <sstream>
+
+namespace revisim::runtime {
+
+const char* to_string(StepKind kind) noexcept {
+  switch (kind) {
+    case StepKind::kRead:
+      return "read";
+    case StepKind::kWrite:
+      return "write";
+    case StepKind::kScan:
+      return "scan";
+    case StepKind::kUpdate:
+      return "update";
+    case StepKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::string Trace::to_text() const {
+  std::ostringstream out;
+  for (const Event& e : events) {
+    out << '#' << e.index << " q" << e.process + 1 << " obj" << e.object << ' '
+        << to_string(e.kind);
+    if (!e.detail.empty()) {
+      out << ' ' << e.detail;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace revisim::runtime

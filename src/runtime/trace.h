@@ -1,0 +1,46 @@
+// Step-level execution trace of the real system.
+//
+// Every base-object operation granted by the scheduler is recorded as one
+// Event.  Traces are the raw material for the augmented-snapshot linearizer
+// (src/augmented/linearizer.h) and for debugging adversarial schedules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace revisim::runtime {
+
+using ProcessId = std::size_t;
+
+// Kind of a base-object step.  The model's base objects expose reads/writes
+// on registers and scans/updates on snapshot objects.
+enum class StepKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kScan,
+  kUpdate,
+  kOther,
+};
+
+const char* to_string(StepKind kind) noexcept;
+
+struct Event {
+  std::size_t index = 0;      // global step number, 0-based
+  ProcessId process = 0;      // real process that took the step
+  std::size_t object = 0;     // registered object id
+  StepKind kind = StepKind::kOther;
+  std::string detail;         // operation-specific short description
+};
+
+struct Trace {
+  std::vector<Event> events;
+
+  void clear() { events.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events.size(); }
+
+  // Human-readable dump, one line per event.
+  [[nodiscard]] std::string to_text() const;
+};
+
+}  // namespace revisim::runtime

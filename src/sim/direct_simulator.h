@@ -1,0 +1,31 @@
+// Direct simulator (§4.1, Algorithm 5).
+//
+// A direct simulator q_i owns a single simulated process and simulates it
+// step by step: an M.Scan for each of its scans, a one-component
+// M.Block-Update for each of its updates (the returned view is ignored).
+// When the process outputs, the simulator outputs the same value.
+#pragma once
+
+#include "src/augmented/augmented_snapshot.h"
+#include "src/protocols/sim_process.h"
+#include "src/runtime/task.h"
+#include "src/sim/types.h"
+
+namespace revisim::sim {
+
+struct DirectStats {
+  std::size_t scans = 0;
+  std::size_t block_updates = 0;
+};
+
+// Runs the whole life of direct simulator `me` simulating `proc` (global id
+// `proc_id`).  Writes the outcome and stats through the given sinks, which
+// must outlive the coroutine.
+runtime::Task<void> run_direct_simulator(aug::IAugmentedSnapshot& m,
+                                         runtime::ProcessId me,
+                                         std::unique_ptr<proto::SimProcess> proc,
+                                         std::size_t proc_id,
+                                         SimulatorOutcome& outcome,
+                                         DirectStats& stats);
+
+}  // namespace revisim::sim

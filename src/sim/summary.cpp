@@ -1,0 +1,51 @@
+#include "src/sim/summary.h"
+
+#include <sstream>
+
+#include "src/sim/replay.h"
+
+namespace revisim::sim {
+
+std::string summarize(const SimulationDriver& driver, bool validate) {
+  std::ostringstream out;
+  out << "simulation: " << driver.protocol().name() << " | f = " << driver.f()
+      << " (" << driver.f() - driver.direct() << " covering, "
+      << driver.direct() << " direct) | m = " << driver.m()
+      << " | n = " << driver.n() << "\n";
+  for (runtime::ProcessId i = 0; i < driver.f(); ++i) {
+    out << "  q" << i + 1 << " simulates {";
+    for (std::size_t gid : driver.partition().groups[i]) {
+      out << " p" << gid + 1;
+    }
+    out << " }, input " << driver.inputs()[i];
+    if (driver.finished(i)) {
+      const SimulatorOutcome& oc = driver.outcome(i);
+      out << " -> output " << oc.output
+          << (oc.output_from_final_run ? " (final local run)"
+                                       : " (early decision)");
+    } else {
+      out << " -> unfinished";
+    }
+    if (const CoveringStats* st = driver.covering_stats(i)) {
+      out << " [" << st->scans << " Scans, " << st->block_updates
+          << " Block-Updates (" << st->yields << " yields), " << st->revisions
+          << " revisions, " << st->local_steps << " hidden/local steps]";
+    } else if (const DirectStats* ds = driver.direct_stats(i)) {
+      out << " [" << ds->scans << " Scans, " << ds->block_updates
+          << " Block-Updates]";
+    }
+    out << "\n";
+  }
+  if (validate) {
+    auto report = validate_simulation(driver);
+    out << "  replay validation: "
+        << (report.ok() ? "legal execution of the protocol"
+                        : report.violations.front())
+        << " (" << report.linearized_ops << " linearized ops, "
+        << report.hidden_steps_inserted << " hidden steps, "
+        << report.revisions_validated << " revisions)\n";
+  }
+  return out.str();
+}
+
+}  // namespace revisim::sim

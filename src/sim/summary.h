@@ -1,0 +1,17 @@
+// Human-readable report of a simulation run: who simulated whom, operation
+// and revision counts, outputs, and the validation verdict.  Used by the
+// examples and the experiment binaries.
+#pragma once
+
+#include <string>
+
+#include "src/sim/driver.h"
+
+namespace revisim::sim {
+
+// Renders a multi-line report.  Runs the replay validator unless
+// `validate` is false (e.g. for partial runs the caller will cut).
+[[nodiscard]] std::string summarize(const SimulationDriver& driver,
+                                    bool validate = true);
+
+}  // namespace revisim::sim

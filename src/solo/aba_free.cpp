@@ -1,0 +1,59 @@
+#include "src/solo/aba_free.h"
+
+#include <stdexcept>
+
+namespace revisim::solo {
+namespace {
+
+class ABAFreeProcess final : public proto::SimProcess {
+ public:
+  ABAFreeProcess(std::unique_ptr<proto::SimProcess> inner, std::size_t index)
+      : inner_(std::move(inner)), index_(index) {}
+
+  ABAFreeProcess(const ABAFreeProcess& other)
+      : inner_(other.inner_->clone()), index_(other.index_), seq_(other.seq_) {}
+
+  proto::SimAction on_scan(const View& view) override {
+    View stripped(view.size());
+    for (std::size_t j = 0; j < view.size(); ++j) {
+      if (view[j]) {
+        stripped[j] = ABAFreeProtocol::strip(*view[j]);
+      }
+    }
+    proto::SimAction act = inner_->on_scan(stripped);
+    if (act.kind == proto::SimAction::Kind::kOutput) {
+      return act;
+    }
+    if (act.value < 0 || act.value >= (Val{1} << 43)) {
+      throw std::out_of_range("inner value does not fit above the ABA tag");
+    }
+    const Val uid = static_cast<Val>(((seq_++) << 8) | (index_ & 0xff));
+    if (uid >= (Val{1} << ABAFreeProtocol::kTagBits)) {
+      throw std::overflow_error("ABA tag space exhausted");
+    }
+    return proto::SimAction::make_update(
+        act.component, (act.value << ABAFreeProtocol::kTagBits) | uid);
+  }
+
+  [[nodiscard]] std::unique_ptr<proto::SimProcess> clone() const override {
+    return std::make_unique<ABAFreeProcess>(*this);
+  }
+
+  [[nodiscard]] std::string state_key() const override {
+    return inner_->state_key() + "~" + std::to_string(seq_);
+  }
+
+ private:
+  std::unique_ptr<proto::SimProcess> inner_;
+  std::size_t index_;
+  std::size_t seq_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<proto::SimProcess> ABAFreeProtocol::make(std::size_t index,
+                                                         Val input) const {
+  return std::make_unique<ABAFreeProcess>(inner_->make(index, input), index);
+}
+
+}  // namespace revisim::solo

@@ -1,0 +1,49 @@
+// Corollary 36: making a register protocol ABA-free.
+//
+// The paper converts register protocols to ABA-free protocols by appending
+// the writer's identifier and a strictly increasing sequence number to each
+// write, ignored by reads.  ABAFreeProtocol is that construction as a
+// protocol transformer: writes are tagged with a unique (sequence, process)
+// pair, scans strip the tags before the inner protocol sees them, so no
+// component ever holds the same value twice in one execution - which is
+// what lets double-collect scans linearize and Theorem 35 carry lower
+// bounds from m-component objects back to m plain registers.
+//
+// The tag occupies the low 20 bits; inner values must be non-negative and
+// fit in 43 bits (every protocol in this library does).
+#pragma once
+
+#include <memory>
+
+#include "src/protocols/sim_process.h"
+
+namespace revisim::solo {
+
+class ABAFreeProtocol final : public proto::Protocol {
+ public:
+  explicit ABAFreeProtocol(std::shared_ptr<const proto::Protocol> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "aba-free(" + inner_->name() + ")";
+  }
+  [[nodiscard]] std::size_t components() const override {
+    return inner_->components();
+  }
+  [[nodiscard]] std::unique_ptr<proto::SimProcess> make(std::size_t index,
+                                                        Val input) const override;
+
+  // Tag helpers (exposed for tests).
+  static constexpr int kTagBits = 20;
+  [[nodiscard]] static Val strip(Val tagged) noexcept {
+    return tagged >> kTagBits;
+  }
+  [[nodiscard]] static Val tag_of(Val tagged) noexcept {
+    return tagged & ((Val{1} << kTagBits) - 1);
+  }
+
+ private:
+  std::shared_ptr<const proto::Protocol> inner_;
+};
+
+}  // namespace revisim::solo

@@ -1,0 +1,112 @@
+#include "src/solo/determinize.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace revisim::solo {
+namespace {
+
+class DeterminizedProcess final : public proto::SimProcess {
+ public:
+  DeterminizedProcess(std::shared_ptr<const NDMachine> machine,
+                      std::shared_ptr<SoloSearch> search, std::size_t index,
+                      Val input)
+      : machine_(std::move(machine)),
+        search_(std::move(search)),
+        state_(machine_->initial(index, input)),
+        expectation_(machine_->components()) {}
+
+  proto::SimAction on_scan(const View& view) override {
+    if (pending_output_) {
+      return proto::SimAction::make_output(*pending_output_);
+    }
+    // The pending op is a scan (alternation); its response is `view`.
+    expectation_ = view;
+    NDResponse resp;
+    resp.is_ack = false;
+    resp.view = view;
+    state_ = choose(state_, resp, expectation_);
+    if (machine_->is_final(state_)) {
+      return proto::SimAction::make_output(machine_->output(state_));
+    }
+    const NDOp op = machine_->next_op(state_);
+    if (op.is_scan()) {
+      throw std::logic_error("ND machine broke scan/update alternation");
+    }
+    if (op.kind != NDOpKind::kWrite) {
+      // The simulated system's object is a snapshot; machines over
+      // max-registers or fetch-and-adds run via run_randomized or their own
+      // object model, not the SimProcess adapter.
+      throw std::logic_error(
+          "determinized SimProcess adapter supports plain writes only");
+    }
+    // Fold the update's ack transition, as the SimProcess convention puts
+    // the state past the poised update.
+    NDResponse ack = apply_nd_op(expectation_, op);
+    state_ = choose(state_, ack, expectation_);
+    if (machine_->is_final(state_)) {
+      pending_output_ = machine_->output(state_);
+    }
+    return proto::SimAction::make_update(op.component, op.value);
+  }
+
+  [[nodiscard]] std::unique_ptr<proto::SimProcess> clone() const override {
+    return std::make_unique<DeterminizedProcess>(*this);
+  }
+
+  [[nodiscard]] std::string state_key() const override {
+    return node_key(state_, expectation_) +
+           (pending_output_ ? "!" + std::to_string(*pending_output_) : "");
+  }
+
+ private:
+  // delta'(s, a) of Theorem 35: the first successor starting a shortest
+  // solo path from the post-response configuration, else the first one.
+  NDState choose(const NDState& s, const NDResponse& resp, const View& e) {
+    std::vector<NDState> succs = machine_->successors(s, resp);
+    if (succs.empty()) {
+      throw std::logic_error("ND machine returned no successors");
+    }
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    const NDState* chosen = nullptr;
+    for (const NDState& s2 : succs) {
+      auto d = search_->shortest(s2, e);
+      if (d && *d < best) {
+        best = *d;
+        chosen = &s2;
+      }
+    }
+    return chosen != nullptr ? *chosen : succs.front();
+  }
+
+  std::shared_ptr<const NDMachine> machine_;
+  std::shared_ptr<SoloSearch> search_;
+  NDState state_;
+  View expectation_;
+  std::optional<Val> pending_output_;
+};
+
+}  // namespace
+
+DeterminizedProtocol::DeterminizedProtocol(
+    std::shared_ptr<const NDMachine> machine, std::size_t search_budget)
+    : machine_(std::move(machine)), search_(std::make_shared<SoloSearch>()) {
+  search_->machine = machine_.get();
+  search_->node_budget = search_budget;
+}
+
+std::string DeterminizedProtocol::name() const {
+  return "determinized(" + machine_->name() + ")";
+}
+
+std::size_t DeterminizedProtocol::components() const {
+  return machine_->components();
+}
+
+std::unique_ptr<proto::SimProcess> DeterminizedProtocol::make(
+    std::size_t index, Val input) const {
+  return std::make_unique<DeterminizedProcess>(machine_, search_, index,
+                                               input);
+}
+
+}  // namespace revisim::solo

@@ -1,0 +1,44 @@
+// Theorem 35: from a nondeterministic solo terminating protocol to an
+// obstruction-free protocol using the same m-component object.
+//
+// The determinized process tracks the paper's expectation vector E_p (what
+// it would see if it scanned now and nobody else had moved) and resolves
+// every delta-choice by the rule of Theorem 35: after receiving response a
+// in state s, it moves to the first successor s' in delta(s, a) that starts
+// a *shortest* p-solo path from (s', E_p'), falling back to the first
+// successor when no solo path is found.  Along any solo execution the
+// shortest-path length then strictly decreases, which is exactly the
+// paper's argument that the result is obstruction-free.
+//
+// The output is an ordinary proto::Protocol, so the determinized protocol
+// composes with everything else in the library: the protocol runner, the
+// model checker (which verifies obstruction-freedom empirically) and the
+// revisionist simulation.  Space is unchanged by construction: the object
+// still has m components.
+#pragma once
+
+#include <memory>
+
+#include "src/protocols/sim_process.h"
+#include "src/solo/nd_protocol.h"
+#include "src/solo/solo_search.h"
+
+namespace revisim::solo {
+
+class DeterminizedProtocol final : public proto::Protocol {
+ public:
+  explicit DeterminizedProtocol(std::shared_ptr<const NDMachine> machine,
+                                std::size_t search_budget = 50'000);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t components() const override;
+  [[nodiscard]] std::unique_ptr<proto::SimProcess> make(std::size_t index,
+                                                        Val input) const override;
+
+ private:
+  std::shared_ptr<const NDMachine> machine_;
+  // Shared memo across all processes and clones (pure cache).
+  std::shared_ptr<SoloSearch> search_;
+};
+
+}  // namespace revisim::solo

@@ -1,0 +1,199 @@
+#include "src/solo/nd_protocol.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace revisim::solo {
+namespace {
+
+// State encodings: "S:r,v" (poised at scan), "U:r,v,j" (poised at update of
+// component j with pair (r,v)), "F:y" (final with output y).
+
+struct Parsed {
+  char tag = 'S';
+  std::uint32_t r = 0;
+  std::int64_t v = 0;
+  std::size_t j = 0;
+};
+
+Parsed parse(const NDState& s) {
+  Parsed p;
+  p.tag = s.at(0);
+  std::istringstream in(s.substr(2));
+  char comma = 0;
+  if (p.tag == 'F') {
+    in >> p.v;
+    return p;
+  }
+  in >> p.r >> comma >> p.v;
+  if (p.tag == 'U') {
+    in >> comma >> p.j;
+  }
+  return p;
+}
+
+NDState scan_state(std::uint32_t r, std::int64_t v) {
+  return "S:" + std::to_string(r) + "," + std::to_string(v);
+}
+
+NDState update_state(std::uint32_t r, std::int64_t v, std::size_t j) {
+  return "U:" + std::to_string(r) + "," + std::to_string(v) + "," +
+         std::to_string(j);
+}
+
+NDState final_state(std::int64_t y) { return "F:" + std::to_string(y); }
+
+// Successor for a chosen (r, v) given the scanned view: final if the view is
+// uniformly this pair, else poised to fix the first disagreeing component.
+NDState place(std::uint32_t r, std::int64_t v, const View& view) {
+  const Val mine = pack_round_val(
+      RoundVal{r, static_cast<std::int32_t>(v)});
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    if (!view[j] || *view[j] != mine) {
+      return update_state(r, v, j);
+    }
+  }
+  return final_state(v);
+}
+
+}  // namespace
+
+NDState NDCoinConsensus::initial(std::size_t index, Val input) const {
+  (void)index;
+  return scan_state(1, input);
+}
+
+bool NDCoinConsensus::is_final(const NDState& s) const {
+  return s.at(0) == 'F';
+}
+
+Val NDCoinConsensus::output(const NDState& s) const { return parse(s).v; }
+
+NDResponse apply_nd_op(View& contents, const NDOp& op) {
+  NDResponse resp;
+  switch (op.kind) {
+    case NDOpKind::kScan:
+      resp.is_ack = false;
+      resp.view = contents;
+      return resp;
+    case NDOpKind::kWrite:
+      contents.at(op.component) = op.value;
+      break;
+    case NDOpKind::kWriteMax: {
+      auto& c = contents.at(op.component);
+      c = c ? std::max(*c, op.value) : op.value;
+      break;
+    }
+    case NDOpKind::kFetchAdd: {
+      auto& c = contents.at(op.component);
+      resp.previous = c.value_or(0);
+      c = resp.previous + op.value;
+      break;
+    }
+  }
+  resp.is_ack = true;
+  return resp;
+}
+
+NDOp NDCoinConsensus::next_op(const NDState& s) const {
+  Parsed p = parse(s);
+  NDOp op;
+  if (p.tag == 'S') {
+    op.kind = NDOpKind::kScan;
+    return op;
+  }
+  if (p.tag == 'U') {
+    op.kind = NDOpKind::kWrite;
+    op.component = p.j;
+    op.value =
+        pack_round_val(RoundVal{p.r, static_cast<std::int32_t>(p.v)});
+    return op;
+  }
+  throw std::logic_error("next_op on final state");
+}
+
+std::vector<NDState> NDCoinConsensus::successors(const NDState& s,
+                                                 const NDResponse& a) const {
+  Parsed p = parse(s);
+  if (p.tag == 'U') {
+    if (!a.is_ack) {
+      throw std::logic_error("update expects an ack");
+    }
+    return {scan_state(p.r, p.v)};
+  }
+  if (p.tag != 'S' || a.is_ack) {
+    throw std::logic_error("scan state expects a view response");
+  }
+  const View& view = a.view;
+
+  // Decode the visible pairs and find the top round.
+  std::uint32_t rm = p.r;
+  for (const auto& c : view) {
+    if (c) {
+      rm = std::max(rm, unpack_round_val(*c).round);
+    }
+  }
+  std::set<std::int32_t> top_vals;
+  for (const auto& c : view) {
+    if (c) {
+      RoundVal rv = unpack_round_val(*c);
+      if (rv.round == rm) {
+        top_vals.insert(rv.value);
+      }
+    }
+  }
+  if (p.r == rm) {
+    top_vals.insert(static_cast<std::int32_t>(p.v));
+  }
+
+  if (top_vals.size() > 1) {
+    // Conflict: the coin flip - one successor per conflicting value.
+    std::vector<NDState> out;
+    for (std::int32_t w : top_vals) {
+      out.push_back(place(rm + 1, w, view));
+    }
+    return out;
+  }
+  // No conflict: adopt the (unique) top pair.
+  return {place(rm, *top_vals.begin(), view)};
+}
+
+NDState NDMaxConsensus::initial(std::size_t index, Val input) const {
+  (void)index;
+  return scan_state(1, input);
+}
+
+bool NDMaxConsensus::is_final(const NDState& s) const {
+  return s.at(0) == 'F';
+}
+
+Val NDMaxConsensus::output(const NDState& s) const { return parse(s).v; }
+
+NDOp NDMaxConsensus::next_op(const NDState& s) const {
+  Parsed p = parse(s);
+  NDOp op;
+  if (p.tag == 'S') {
+    op.kind = NDOpKind::kScan;
+    return op;
+  }
+  if (p.tag == 'U') {
+    op.kind = NDOpKind::kWriteMax;
+    op.component = p.j;
+    op.value =
+        pack_round_val(RoundVal{p.r, static_cast<std::int32_t>(p.v)});
+    return op;
+  }
+  throw std::logic_error("next_op on final state");
+}
+
+std::vector<NDState> NDMaxConsensus::successors(const NDState& s,
+                                                const NDResponse& a) const {
+  // Identical decision logic to the coin machine: the object semantics
+  // differ (write-max), the state machine does not.
+  NDCoinConsensus coin(n_, m_);
+  return coin.successors(s, a);
+}
+
+}  // namespace revisim::solo

@@ -1,0 +1,129 @@
+// Nondeterministic protocols (§5.1).
+//
+// A nondeterministic protocol gives each process a state machine
+// (S, nu, delta, I, F): in a non-final state s the process performs the
+// *deterministic* next step nu(s) (a scan of the m-component object or an
+// update of one component - we keep the paper's WLOG alternation), and the
+// transition function delta maps (s, response) to a non-empty *ordered set*
+// of successor states (the paper totally orders states; we use vector
+// order).  Nondeterministic solo termination: from every reachable
+// configuration every process has *some* terminating solo execution - the
+// property satisfied by randomized wait-free protocols.
+//
+// States are opaque canonical strings so the solo-path search (Theorem 35)
+// can memoize on (state, expectation-vector) pairs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/value.h"
+
+namespace revisim::solo {
+
+using NDState = std::string;
+
+// §5.2 considers m-component objects whose components support arbitrary
+// operations (the paper names snapshots and max-registers; §5.3 adds
+// fetch-and-increment).  The ND layer therefore carries an op kind per
+// component operation; the plain simulated-snapshot world only uses kWrite.
+enum class NDOpKind : std::uint8_t { kScan, kWrite, kWriteMax, kFetchAdd };
+
+struct NDOp {
+  NDOpKind kind = NDOpKind::kScan;
+  std::size_t component = 0;  // component ops only
+  Val value = 0;              // kWrite/kWriteMax: value; kFetchAdd: addend
+
+  [[nodiscard]] bool is_scan() const noexcept {
+    return kind == NDOpKind::kScan;
+  }
+};
+
+// Response to an op: the view for a scan, the previous component value for
+// fetch-and-add, an ack otherwise.
+struct NDResponse {
+  bool is_ack = false;
+  View view;      // scan only
+  Val previous = 0;  // fetch-and-add only
+};
+
+// Applies a component op to object contents and returns the response.
+[[nodiscard]] NDResponse apply_nd_op(View& contents, const NDOp& op);
+
+class NDMachine {
+ public:
+  virtual ~NDMachine() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::size_t components() const = 0;
+
+  [[nodiscard]] virtual NDState initial(std::size_t index, Val input) const = 0;
+  [[nodiscard]] virtual bool is_final(const NDState& s) const = 0;
+  [[nodiscard]] virtual Val output(const NDState& s) const = 0;
+  // nu(s): the next step in non-final state s.  Initial states must be
+  // poised at a scan and steps must alternate scan/update (Assumption 1).
+  [[nodiscard]] virtual NDOp next_op(const NDState& s) const = 0;
+  // delta(s, a): the ordered, non-empty set of successor states.
+  [[nodiscard]] virtual std::vector<NDState> successors(
+      const NDState& s, const NDResponse& a) const = 0;
+};
+
+// Example: racing consensus where a same-round value conflict is resolved
+// by a *nondeterministic choice* among the conflicting values - the model
+// of a coin flip in a randomized consensus protocol.  Every solo execution
+// terminates no matter how the choices resolve (the adversary controls the
+// coin), so the protocol is nondeterministic solo terminating, and it uses
+// m components; Theorem 35 turns it into an obstruction-free protocol with
+// the same space.
+class NDCoinConsensus final : public NDMachine {
+ public:
+  NDCoinConsensus(std::size_t n, std::size_t m) : n_(n), m_(m) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "nd-coin(n=" + std::to_string(n_) + ",m=" + std::to_string(m_) +
+           ")";
+  }
+  [[nodiscard]] std::size_t components() const override { return m_; }
+
+  [[nodiscard]] NDState initial(std::size_t index, Val input) const override;
+  [[nodiscard]] bool is_final(const NDState& s) const override;
+  [[nodiscard]] Val output(const NDState& s) const override;
+  [[nodiscard]] NDOp next_op(const NDState& s) const override;
+  [[nodiscard]] std::vector<NDState> successors(
+      const NDState& s, const NDResponse& a) const override;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+};
+
+// The same coin-flip racing consensus over m *max-register* components
+// (§5.2-5.3): the packed (round, value) pairs are written with write-max,
+// so every component is monotone and the protocol is ABA-free *by
+// construction* - no Corollary 36 tagging needed.  (pack_round_val is
+// monotone in the lexicographic pair order, so write-max implements "keep
+// the leading pair" exactly.)
+class NDMaxConsensus final : public NDMachine {
+ public:
+  NDMaxConsensus(std::size_t n, std::size_t m) : n_(n), m_(m) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "nd-max(n=" + std::to_string(n_) + ",m=" + std::to_string(m_) +
+           ")";
+  }
+  [[nodiscard]] std::size_t components() const override { return m_; }
+
+  [[nodiscard]] NDState initial(std::size_t index, Val input) const override;
+  [[nodiscard]] bool is_final(const NDState& s) const override;
+  [[nodiscard]] Val output(const NDState& s) const override;
+  [[nodiscard]] NDOp next_op(const NDState& s) const override;
+  [[nodiscard]] std::vector<NDState> successors(
+      const NDState& s, const NDResponse& a) const override;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+};
+
+}  // namespace revisim::solo

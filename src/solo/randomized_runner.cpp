@@ -1,0 +1,55 @@
+#include "src/solo/randomized_runner.h"
+
+#include <random>
+
+namespace revisim::solo {
+
+RandomizedRunResult run_randomized(const NDMachine& machine,
+                                   const std::vector<Val>& inputs,
+                                   std::uint64_t seed,
+                                   std::size_t max_steps) {
+  std::mt19937_64 rng(seed);
+  const std::size_t n = inputs.size();
+  RandomizedRunResult res;
+  res.outputs.assign(n, std::nullopt);
+  res.steps.assign(n, 0);
+
+  std::vector<NDState> state(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state[i] = machine.initial(i, inputs[i]);
+  }
+  View contents(machine.components());
+
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!res.outputs[i]) {
+        live.push_back(i);
+      }
+    }
+    if (live.empty()) {
+      res.all_done = true;
+      return res;
+    }
+    std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+    const std::size_t i = live[pick(rng)];
+    ++res.total_steps;
+    ++res.steps[i];
+
+    const NDOp op = machine.next_op(state[i]);
+    NDResponse resp = apply_nd_op(contents, op);
+    if (!op.is_scan()) {
+      res.applied_writes.emplace_back(op.component, *contents[op.component]);
+    }
+    auto succs = machine.successors(state[i], resp);
+    std::uniform_int_distribution<std::size_t> coin(0, succs.size() - 1);
+    state[i] = succs[coin(rng)];  // the coin flip
+    if (machine.is_final(state[i])) {
+      res.outputs[i] = machine.output(state[i]);
+    }
+  }
+  res.all_done = false;
+  return res;
+}
+
+}  // namespace revisim::solo

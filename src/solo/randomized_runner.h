@@ -1,0 +1,37 @@
+// Randomized execution of nondeterministic protocols (§5's motivation).
+//
+// A nondeterministic solo terminating protocol is the paper's umbrella for
+// randomized wait-free protocols: the delta-choices are the coin flips.
+// This runner executes a system of NDMachine processes over an atomic
+// m-component snapshot, resolving both the schedule and the coin flips with
+// a seeded RNG - i.e. it runs the protocol as the randomized algorithm it
+// models.  Together with the determinizer it makes Section 5 operational in
+// both directions: run the coins, or compile them away.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/solo/nd_protocol.h"
+
+namespace revisim::solo {
+
+struct RandomizedRunResult {
+  bool all_done = false;
+  std::vector<std::optional<Val>> outputs;  // one per process
+  std::size_t total_steps = 0;
+  std::vector<std::size_t> steps;           // per process
+  // Chronological (component, resulting value) of every component op; the
+  // §5.3 ABA-freedom checks read this.
+  std::vector<std::pair<std::size_t, Val>> applied_writes;
+};
+
+// Runs n = inputs.size() processes of `machine` to completion (or until
+// max_steps), with schedule and coin flips drawn from `seed`.
+[[nodiscard]] RandomizedRunResult run_randomized(const NDMachine& machine,
+                                                 const std::vector<Val>& inputs,
+                                                 std::uint64_t seed,
+                                                 std::size_t max_steps);
+
+}  // namespace revisim::solo

@@ -1,0 +1,55 @@
+#include "src/solo/solo_search.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace revisim::solo {
+
+std::string node_key(const NDState& s, const View& e) {
+  return s + "|" + to_string(e);
+}
+
+std::optional<std::size_t> SoloSearch::shortest(const NDState& s,
+                                                const View& e) {
+  const std::string root_key = node_key(s, e);
+  if (auto it = memo.find(root_key); it != memo.end()) {
+    return it->second;
+  }
+
+  struct Node {
+    NDState s;
+    View e;
+    std::size_t dist;
+  };
+  std::deque<Node> queue;
+  std::unordered_set<std::string> seen;
+  queue.push_back(Node{s, e, 0});
+  seen.insert(root_key);
+  std::size_t explored = 0;
+  std::optional<std::size_t> answer;
+
+  while (!queue.empty() && explored < node_budget) {
+    Node node = std::move(queue.front());
+    queue.pop_front();
+    ++explored;
+    if (machine->is_final(node.s)) {
+      answer = node.dist;
+      break;
+    }
+    const NDOp op = machine->next_op(node.s);
+    View next_e = node.e;
+    // Solo: the op runs against exactly the expectation vector.
+    NDResponse resp = apply_nd_op(next_e, op);
+    for (const NDState& succ : machine->successors(node.s, resp)) {
+      auto key = node_key(succ, next_e);
+      if (seen.insert(std::move(key)).second) {
+        queue.push_back(Node{succ, next_e, node.dist + 1});
+      }
+    }
+  }
+
+  memo.emplace(root_key, answer);
+  return answer;
+}
+
+}  // namespace revisim::solo

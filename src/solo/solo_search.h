@@ -1,0 +1,34 @@
+// Shortest solo-path search (§5.2, proof of Theorem 35).
+//
+// A p-solo path from (state s, expectation vector E) is the paper's p-solo
+// path: an execution in which p runs alone against an object whose contents
+// are exactly what p expects (E), branching only over the nondeterministic
+// choices of delta.  Nondeterministic solo termination guarantees such a
+// path exists from every reachable configuration; the determinizer asks for
+// the *shortest* one and follows its first edge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/solo/nd_protocol.h"
+
+namespace revisim::solo {
+
+struct SoloSearch {
+  const NDMachine* machine = nullptr;
+  std::size_t node_budget = 50'000;  // max BFS nodes per query
+  // Memo: (state | E) -> shortest remaining solo-path length (steps), or
+  // nullopt if no path was found within budget.
+  std::unordered_map<std::string, std::optional<std::size_t>> memo;
+
+  // Shortest solo-path length from (s, e); nullopt if none found.
+  std::optional<std::size_t> shortest(const NDState& s, const View& e);
+};
+
+// Canonical key of a (state, expectation) node.
+[[nodiscard]] std::string node_key(const NDState& s, const View& e);
+
+}  // namespace revisim::solo

@@ -1,0 +1,160 @@
+// Exhaustive schedule exploration of the augmented snapshot on tiny
+// instances: every interleaving of two (and bounded three) real processes
+// must produce an execution passing all §3.3 linearization checks.
+#include <gtest/gtest.h>
+
+#include "src/augmented/augmented_snapshot.h"
+#include "src/augmented/linearizer.h"
+#include "src/check/model_check.h"
+#include "src/runtime/scheduler.h"
+
+namespace revisim {
+namespace {
+
+using aug::AugmentedSnapshot;
+using check::ExplorableWorld;
+using check::explore_schedules;
+using check::ScheduleExploreOptions;
+using runtime::ProcessId;
+using runtime::Scheduler;
+using runtime::Task;
+
+Task<void> bu_script(AugmentedSnapshot& m, ProcessId me,
+                     std::vector<std::pair<std::size_t, Val>> writes) {
+  for (auto [j, v] : writes) {
+    std::vector<std::size_t> comps{j};
+    std::vector<Val> vals{v};
+    co_await m.BlockUpdate(me, comps, vals);
+  }
+}
+
+Task<void> wide_bu_script(AugmentedSnapshot& m, ProcessId me) {
+  std::vector<std::size_t> comps{0, 1};
+  std::vector<Val> vals{Val(10 * (me + 1)), Val(10 * (me + 1) + 1)};
+  co_await m.BlockUpdate(me, comps, vals);
+}
+
+Task<void> scan_script(AugmentedSnapshot& m, ProcessId me) {
+  co_await m.Scan(me);
+  co_await m.Scan(me);
+}
+
+class AugWorld final : public ExplorableWorld {
+ public:
+  enum class Shape { kTwoSingles, kWideVsScan, kWideVsWide, kThreeMixed };
+
+  explicit AugWorld(Shape shape) {
+    const std::size_t f = shape == Shape::kThreeMixed ? 3 : 2;
+    m_ = std::make_unique<AugmentedSnapshot>(sched_, "M", 2, f);
+    switch (shape) {
+      case Shape::kTwoSingles:
+        sched_.spawn(bu_script(*m_, 0, {{0, 1}}), "q1");
+        sched_.spawn(bu_script(*m_, 1, {{1, 2}}), "q2");
+        break;
+      case Shape::kWideVsScan:
+        sched_.spawn(wide_bu_script(*m_, 0), "q1");
+        sched_.spawn(scan_script(*m_, 1), "q2");
+        break;
+      case Shape::kWideVsWide:
+        sched_.spawn(wide_bu_script(*m_, 0), "q1");
+        sched_.spawn(wide_bu_script(*m_, 1), "q2");
+        break;
+      case Shape::kThreeMixed:
+        sched_.spawn(bu_script(*m_, 0, {{0, 1}}), "q1");
+        sched_.spawn(wide_bu_script(*m_, 1), "q2");
+        sched_.spawn(scan_script(*m_, 2), "q3");
+        break;
+    }
+  }
+
+  Scheduler& scheduler() override { return sched_; }
+
+  std::optional<std::string> verdict(bool complete) override {
+    (void)complete;  // the linearizer accepts partial executions
+    auto lin = aug::linearize(m_->log(), 2);
+    if (!lin.ok()) {
+      return lin.violations.front();
+    }
+    return std::nullopt;
+  }
+
+ private:
+  Scheduler sched_;
+  std::unique_ptr<AugmentedSnapshot> m_;
+};
+
+TEST(ScheduleExplorer, TwoSingleBlockUpdatesExhaustive) {
+  auto res = explore_schedules(
+      [] { return std::make_unique<AugWorld>(AugWorld::Shape::kTwoSingles); });
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_FALSE(res.violation) << *res.violation << " witness size "
+                              << res.witness.size();
+  // Not C(12,6) = 924: q2's Block-Update returns early (5 steps, skipping
+  // the helping-read scan) on the branches where q1 makes it yield, so the
+  // deterministic leaf count is smaller.  The exact value is a regression
+  // anchor: it changes iff the augmented snapshot's step structure changes.
+  EXPECT_EQ(res.executions, 577u);
+}
+
+TEST(ScheduleExplorer, WideBlockUpdateVersusScanExhaustive) {
+  auto res = explore_schedules(
+      [] { return std::make_unique<AugWorld>(AugWorld::Shape::kWideVsScan); });
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_FALSE(res.violation) << *res.violation;
+  EXPECT_GT(res.executions, 100u);
+}
+
+TEST(ScheduleExplorer, WideVersusWideExhaustive) {
+  auto res = explore_schedules(
+      [] { return std::make_unique<AugWorld>(AugWorld::Shape::kWideVsWide); });
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_FALSE(res.violation) << *res.violation;
+}
+
+TEST(ScheduleExplorer, ThreeProcessesBounded) {
+  ScheduleExploreOptions opt;
+  opt.max_executions = 60'000;
+  auto res = explore_schedules(
+      [] { return std::make_unique<AugWorld>(AugWorld::Shape::kThreeMixed); },
+      opt);
+  EXPECT_FALSE(res.violation) << *res.violation;
+  EXPECT_GE(res.executions, 10'000u);
+}
+
+// The explorer must actually find planted violations.
+class BrokenWorld final : public ExplorableWorld {
+ public:
+  BrokenWorld() {
+    m_ = std::make_unique<AugmentedSnapshot>(sched_, "M", 2, 2);
+    sched_.spawn(bu_script(*m_, 0, {{0, 1}}), "q1");
+    sched_.spawn(bu_script(*m_, 1, {{0, 2}}), "q2");
+  }
+  Scheduler& scheduler() override { return sched_; }
+  std::optional<std::string> verdict(bool complete) override {
+    // Deliberately bogus property: "component 0 never holds 2".
+    if (complete && m_->peek_view()[0] == std::optional<Val>(2)) {
+      return "component 0 holds 2";
+    }
+    return std::nullopt;
+  }
+
+ private:
+  Scheduler sched_;
+  std::unique_ptr<AugmentedSnapshot> m_;
+};
+
+TEST(ScheduleExplorer, FindsPlantedViolationWithWitness) {
+  auto res =
+      explore_schedules([] { return std::make_unique<BrokenWorld>(); });
+  ASSERT_TRUE(res.violation.has_value());
+  EXPECT_FALSE(res.witness.empty());
+  // Replaying the witness reproduces the violation deterministically.
+  BrokenWorld world;
+  for (ProcessId pid : res.witness) {
+    world.scheduler().run_step(pid);
+  }
+  EXPECT_TRUE(world.verdict(world.scheduler().all_done()).has_value());
+}
+
+}  // namespace
+}  // namespace revisim

@@ -1,0 +1,123 @@
+// Cross-product property sweep of the revisionist simulation: protocols x
+// (f, d) shapes x adversaries x seeds.  Every cell asserts the paper's
+// unconditional guarantees - wait-freedom (Lemma 32), replay validity
+// (Lemma 26), output validity for colorless tasks - while agreement itself
+// is allowed to break on starved instances (that is the theorem's point).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/protocols/approx_agreement.h"
+#include "src/protocols/racing_agreement.h"
+#include "src/runtime/adversary.h"
+#include "src/sim/driver.h"
+#include "src/sim/replay.h"
+
+namespace revisim {
+namespace {
+
+using runtime::Scheduler;
+
+struct GridCase {
+  std::size_t f;        // simulators
+  std::size_t d;        // direct simulators
+  std::size_t m;        // components of the starved protocol
+  std::size_t n_extra;  // simulated processes beyond the minimum
+  bool burst;           // burst vs uniform random adversary
+  bool registers = false;  // run on the register substrate
+};
+
+class SimulationGrid
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SimulationGrid, InvariantsHoldEverywhere) {
+  static const GridCase kCases[] = {
+      {1, 0, 1, 0, false}, {1, 0, 2, 0, false}, {1, 0, 3, 1, false},
+      {2, 0, 1, 0, false}, {2, 0, 2, 0, false}, {2, 0, 2, 1, true},
+      {2, 1, 2, 0, false}, {2, 1, 3, 0, true},  {3, 0, 2, 0, false},
+      {3, 1, 2, 0, true},  {3, 2, 2, 1, false}, {4, 2, 2, 0, true},
+      {2, 0, 2, 0, false, true},  // full reduction on plain registers
+      {2, 1, 2, 0, true, true},   // ... with a direct simulator, bursty
+      {3, 0, 2, 0, false, true},
+  };
+  const auto [case_idx, seed] = GetParam();
+  const GridCase& c = kCases[case_idx];
+  const std::size_t n = (c.f - c.d) * c.m + c.d + c.n_extra;
+
+  proto::RacingAgreement protocol(n, c.m);
+  std::vector<Val> inputs;
+  for (std::size_t i = 0; i < c.f; ++i) {
+    inputs.push_back(static_cast<Val>(100 + i));
+  }
+
+  Scheduler sched;
+  sim::SimulationDriver::Options opt;
+  opt.d = c.d;
+  opt.n = n;
+  if (c.registers) {
+    opt.substrate = sim::SimulationDriver::Substrate::kRegisters;
+  }
+  sim::SimulationDriver driver(sched, protocol, inputs, opt);
+
+  std::unique_ptr<runtime::Adversary> adv;
+  if (c.burst) {
+    adv = std::make_unique<runtime::BurstAdversary>(seed, 12);
+  } else {
+    adv = std::make_unique<runtime::RandomAdversary>(seed);
+  }
+  // Wait-freedom: the run must complete.
+  ASSERT_TRUE(driver.run(*adv, 30'000'000))
+      << "case " << case_idx << " seed " << seed;
+
+  // Replay validity: the run corresponds to a legal protocol execution.
+  auto report = sim::validate_simulation(driver);
+  ASSERT_TRUE(report.ok()) << "case " << case_idx << " seed " << seed << ": "
+                           << report.violations.front();
+
+  // Output validity: every output is some simulator's input.
+  for (Val y : driver.outputs()) {
+    bool found = false;
+    for (Val x : inputs) {
+      found = found || x == y;
+    }
+    EXPECT_TRUE(found) << "case " << case_idx << " seed " << seed;
+  }
+
+  // Structural sanity of the stats.
+  for (runtime::ProcessId i = 0; i < c.f - c.d; ++i) {
+    const auto* st = driver.covering_stats(i);
+    ASSERT_NE(st, nullptr);
+    EXPECT_LE(st->scans, st->block_updates + 1);
+  }
+  for (runtime::ProcessId i = c.f - c.d; i < c.f; ++i) {
+    ASSERT_NE(driver.direct_stats(i), nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimulationGrid,
+    ::testing::Combine(::testing::Range(0, 15),
+                       ::testing::Range<std::uint64_t>(0, 8)));
+
+class ApproxSimulationGrid
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(ApproxSimulationGrid, StarvedApproxAgreementUnderSimulation) {
+  const auto [eps, seed] = GetParam();
+  proto::ApproxAgreement protocol(4, 2, eps);
+  Scheduler sched;
+  sim::SimulationDriver driver(sched, protocol,
+                               {to_fixed(0.0), to_fixed(1.0)});
+  runtime::RandomAdversary adv(seed);
+  ASSERT_TRUE(driver.run(adv, 30'000'000));
+  auto report = sim::validate_simulation(driver);
+  ASSERT_TRUE(report.ok()) << report.violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ApproxSimulationGrid,
+    ::testing::Combine(::testing::Values(0.1, 1e-3, 1e-6),
+                       ::testing::Range<std::uint64_t>(0, 10)));
+
+}  // namespace
+}  // namespace revisim

@@ -1,0 +1,59 @@
+// Tests for the run-summary renderer and the driver's reporting accessors.
+#include <gtest/gtest.h>
+
+#include "src/protocols/racing_agreement.h"
+#include "src/runtime/adversary.h"
+#include "src/sim/driver.h"
+#include "src/sim/summary.h"
+
+namespace revisim {
+namespace {
+
+TEST(Summary, CompleteRunMentionsEveryActor) {
+  runtime::Scheduler sched;
+  proto::RacingAgreement protocol(5, 2);
+  sim::SimulationDriver::Options opt;
+  opt.d = 1;
+  sim::SimulationDriver driver(sched, protocol, {1, 2, 3}, opt);
+  runtime::RandomAdversary adv(3);
+  ASSERT_TRUE(driver.run(adv, 10'000'000));
+  const std::string text = sim::summarize(driver);
+  for (const char* needle :
+       {"racing(n=5,m=2)", "q1", "q2", "q3", "p5", "replay validation",
+        "legal execution"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+  // Direct simulator line shows no revision bracket fields.
+  EXPECT_NE(text.find("Block-Updates]"), std::string::npos);
+}
+
+TEST(Summary, PartialRunReportsUnfinished) {
+  runtime::Scheduler sched;
+  proto::RacingAgreement protocol(4, 2);
+  sim::SimulationDriver driver(sched, protocol, {1, 2});
+  runtime::SoloAdversary adv(0);  // q2 never runs
+  driver.run(adv, 1'000'000);
+  EXPECT_TRUE(driver.finished(0));
+  EXPECT_FALSE(driver.finished(1));
+  const std::string text = sim::summarize(driver, /*validate=*/true);
+  EXPECT_NE(text.find("unfinished"), std::string::npos);
+  // Partial runs still validate (the replayer handles incomplete ops).
+  EXPECT_NE(text.find("legal execution"), std::string::npos) << text;
+}
+
+TEST(Summary, OutputsAccessorMatchesSummary) {
+  runtime::Scheduler sched;
+  proto::RacingAgreement protocol(2, 1);
+  sim::SimulationDriver driver(sched, protocol, {7, 9});
+  runtime::RoundRobinAdversary adv;
+  ASSERT_TRUE(driver.run(adv));
+  auto outs = driver.outputs();
+  ASSERT_EQ(outs.size(), 2u);
+  const std::string text = sim::summarize(driver);
+  for (Val y : outs) {
+    EXPECT_NE(text.find("output " + std::to_string(y)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace revisim

@@ -1,0 +1,87 @@
+// Unit tests for the value model: pack/unpack round-trips, ordering
+// homomorphisms (the racing protocols depend on packed order == pair
+// order), fixed-point precision, and printing.
+#include <gtest/gtest.h>
+
+#include "src/protocols/approx_agreement.h"
+#include "src/protocols/ca_consensus.h"
+#include "src/protocols/commit_adopt.h"
+#include "src/util/value.h"
+
+namespace revisim {
+namespace {
+
+TEST(Value, RoundValRoundTrip) {
+  // The documented payload domain is 31-bit non-negative values (all
+  // agreement protocols use plain non-negative inputs).
+  for (std::uint32_t r : {0u, 1u, 7u, 1u << 20, (1u << 31) - 1}) {
+    for (std::int32_t v : {0, 1, 42, 0x3fffffff, 0x7fffffff}) {
+      RoundVal rv{r, v};
+      EXPECT_EQ(unpack_round_val(pack_round_val(rv)), rv)
+          << "r=" << r << " v=" << v;
+    }
+  }
+}
+
+TEST(Value, PackedOrderMatchesPairOrderForNonNegativeValues) {
+  // The racing protocols compare packed Vals as integers and expect
+  // lexicographic (round, value) order; verify on a grid (values >= 0,
+  // which is what the protocols use).
+  const std::vector<RoundVal> pts = {
+      {1, 0}, {1, 1}, {1, 100}, {2, 0}, {2, 99}, {3, 5}};
+  for (const auto& a : pts) {
+    for (const auto& b : pts) {
+      EXPECT_EQ(pack_round_val(a) < pack_round_val(b), a < b)
+          << a.round << "," << a.value << " vs " << b.round << "," << b.value;
+    }
+  }
+}
+
+TEST(Value, FixedPointPrecision) {
+  for (double x : {0.0, 0.5, 0.25, 1.0, 1e-6, 0.123456789}) {
+    EXPECT_NEAR(from_fixed(to_fixed(x)), x, 1e-9) << x;
+  }
+}
+
+TEST(Value, CAEntryRoundTrip) {
+  for (std::uint32_t r : {1u, 2u, 1000u}) {
+    for (std::uint8_t phase : {std::uint8_t{1}, std::uint8_t{2}}) {
+      for (std::uint8_t grade : {std::uint8_t{0}, std::uint8_t{1}}) {
+        for (std::int32_t v : {0, 7, -3}) {
+          proto::CAEntry e{r, phase, grade, v};
+          EXPECT_EQ(proto::unpack_ca(proto::pack_ca(e)), e);
+        }
+      }
+    }
+  }
+}
+
+TEST(Value, CommitAdoptResultRoundTrip) {
+  for (bool commit : {false, true}) {
+    for (std::int32_t v : {0, 5, -9}) {
+      const Val out = proto::pack_ca_result(commit, v);
+      EXPECT_EQ(proto::ca_committed(out), commit);
+      EXPECT_EQ(proto::ca_value(out), v);
+    }
+  }
+}
+
+TEST(Value, ApproxPackingRoundTrip) {
+  for (std::uint32_t r : {1u, 2u, 40u}) {
+    for (Val fx : {Val{0}, Val{1} << 33, (Val{1} << 34) - 1}) {
+      const Val packed = proto::pack_approx(r, fx);
+      EXPECT_EQ(proto::approx_round(packed), r);
+      EXPECT_EQ(proto::approx_value(packed), fx);
+    }
+  }
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(to_string(std::optional<Val>{}), "_");
+  EXPECT_EQ(to_string(std::optional<Val>{7}), "7");
+  EXPECT_EQ(to_string(View{1, std::nullopt, 3}), "[1 _ 3]");
+  EXPECT_EQ(to_string(View{}), "[]");
+}
+
+}  // namespace
+}  // namespace revisim
