@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx_protocol.dir/bench_approx_protocol.cpp.o"
+  "CMakeFiles/bench_approx_protocol.dir/bench_approx_protocol.cpp.o.d"
+  "bench_approx_protocol"
+  "bench_approx_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx_reduction.dir/bench_approx_reduction.cpp.o"
+  "CMakeFiles/bench_approx_reduction.dir/bench_approx_reduction.cpp.o.d"
+  "bench_approx_reduction"
+  "bench_approx_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_augmented_steps.dir/bench_augmented_steps.cpp.o"
+  "CMakeFiles/bench_augmented_steps.dir/bench_augmented_steps.cpp.o.d"
+  "bench_augmented_steps"
+  "bench_augmented_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_augmented_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

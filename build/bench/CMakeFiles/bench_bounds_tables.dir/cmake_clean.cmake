@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounds_tables.dir/bench_bounds_tables.cpp.o"
+  "CMakeFiles/bench_bounds_tables.dir/bench_bounds_tables.cpp.o.d"
+  "bench_bounds_tables"
+  "bench_bounds_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounds_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kset_reduction.dir/bench_kset_reduction.cpp.o"
+  "CMakeFiles/bench_kset_reduction.dir/bench_kset_reduction.cpp.o.d"
+  "bench_kset_reduction"
+  "bench_kset_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kset_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

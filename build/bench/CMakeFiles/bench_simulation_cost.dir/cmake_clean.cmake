@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulation_cost.dir/bench_simulation_cost.cpp.o"
+  "CMakeFiles/bench_simulation_cost.dir/bench_simulation_cost.cpp.o.d"
+  "bench_simulation_cost"
+  "bench_simulation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_space_probe.dir/bench_space_probe.cpp.o"
+  "CMakeFiles/bench_space_probe.dir/bench_space_probe.cpp.o.d"
+  "bench_space_probe"
+  "bench_space_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_space_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

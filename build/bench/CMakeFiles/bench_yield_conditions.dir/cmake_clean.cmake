@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yield_conditions.dir/bench_yield_conditions.cpp.o"
+  "CMakeFiles/bench_yield_conditions.dir/bench_yield_conditions.cpp.o.d"
+  "bench_yield_conditions"
+  "bench_yield_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yield_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

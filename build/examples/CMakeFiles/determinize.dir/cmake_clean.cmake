@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinize.dir/determinize.cpp.o"
+  "CMakeFiles/determinize.dir/determinize.cpp.o.d"
+  "determinize"
+  "determinize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

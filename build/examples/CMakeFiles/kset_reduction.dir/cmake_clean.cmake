@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kset_reduction.dir/kset_reduction.cpp.o"
+  "CMakeFiles/kset_reduction.dir/kset_reduction.cpp.o.d"
+  "kset_reduction"
+  "kset_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kset_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revisim_cli.dir/revisim_cli.cpp.o"
+  "CMakeFiles/revisim_cli.dir/revisim_cli.cpp.o.d"
+  "revisim_cli"
+  "revisim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revisim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

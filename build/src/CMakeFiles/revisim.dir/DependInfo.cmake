@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augmented/hstate.cpp" "src/CMakeFiles/revisim.dir/augmented/hstate.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/augmented/hstate.cpp.o.d"
+  "/root/repo/src/augmented/linearizer.cpp" "src/CMakeFiles/revisim.dir/augmented/linearizer.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/augmented/linearizer.cpp.o.d"
+  "/root/repo/src/augmented/timestamp.cpp" "src/CMakeFiles/revisim.dir/augmented/timestamp.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/augmented/timestamp.cpp.o.d"
+  "/root/repo/src/bounds/bounds.cpp" "src/CMakeFiles/revisim.dir/bounds/bounds.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/bounds/bounds.cpp.o.d"
+  "/root/repo/src/check/lincheck.cpp" "src/CMakeFiles/revisim.dir/check/lincheck.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/check/lincheck.cpp.o.d"
+  "/root/repo/src/check/model_check.cpp" "src/CMakeFiles/revisim.dir/check/model_check.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/check/model_check.cpp.o.d"
+  "/root/repo/src/check/protocol_check.cpp" "src/CMakeFiles/revisim.dir/check/protocol_check.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/check/protocol_check.cpp.o.d"
+  "/root/repo/src/memory/collect_snapshot.cpp" "src/CMakeFiles/revisim.dir/memory/collect_snapshot.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/memory/collect_snapshot.cpp.o.d"
+  "/root/repo/src/protocols/approx_agreement.cpp" "src/CMakeFiles/revisim.dir/protocols/approx_agreement.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/protocols/approx_agreement.cpp.o.d"
+  "/root/repo/src/protocols/ca_consensus.cpp" "src/CMakeFiles/revisim.dir/protocols/ca_consensus.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/protocols/ca_consensus.cpp.o.d"
+  "/root/repo/src/protocols/commit_adopt.cpp" "src/CMakeFiles/revisim.dir/protocols/commit_adopt.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/protocols/commit_adopt.cpp.o.d"
+  "/root/repo/src/protocols/protocol_runner.cpp" "src/CMakeFiles/revisim.dir/protocols/protocol_runner.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/protocols/protocol_runner.cpp.o.d"
+  "/root/repo/src/protocols/racing_agreement.cpp" "src/CMakeFiles/revisim.dir/protocols/racing_agreement.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/protocols/racing_agreement.cpp.o.d"
+  "/root/repo/src/runtime/adversary.cpp" "src/CMakeFiles/revisim.dir/runtime/adversary.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/runtime/adversary.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/revisim.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/revisim.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/runtime/trace.cpp.o.d"
+  "/root/repo/src/sim/covering_simulator.cpp" "src/CMakeFiles/revisim.dir/sim/covering_simulator.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/sim/covering_simulator.cpp.o.d"
+  "/root/repo/src/sim/direct_simulator.cpp" "src/CMakeFiles/revisim.dir/sim/direct_simulator.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/sim/direct_simulator.cpp.o.d"
+  "/root/repo/src/sim/driver.cpp" "src/CMakeFiles/revisim.dir/sim/driver.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/sim/driver.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/CMakeFiles/revisim.dir/sim/replay.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/sim/replay.cpp.o.d"
+  "/root/repo/src/sim/summary.cpp" "src/CMakeFiles/revisim.dir/sim/summary.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/sim/summary.cpp.o.d"
+  "/root/repo/src/solo/aba_free.cpp" "src/CMakeFiles/revisim.dir/solo/aba_free.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/solo/aba_free.cpp.o.d"
+  "/root/repo/src/solo/determinize.cpp" "src/CMakeFiles/revisim.dir/solo/determinize.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/solo/determinize.cpp.o.d"
+  "/root/repo/src/solo/nd_protocol.cpp" "src/CMakeFiles/revisim.dir/solo/nd_protocol.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/solo/nd_protocol.cpp.o.d"
+  "/root/repo/src/solo/randomized_runner.cpp" "src/CMakeFiles/revisim.dir/solo/randomized_runner.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/solo/randomized_runner.cpp.o.d"
+  "/root/repo/src/solo/solo_search.cpp" "src/CMakeFiles/revisim.dir/solo/solo_search.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/solo/solo_search.cpp.o.d"
+  "/root/repo/src/tasks/colorless.cpp" "src/CMakeFiles/revisim.dir/tasks/colorless.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/tasks/colorless.cpp.o.d"
+  "/root/repo/src/tasks/task_spec.cpp" "src/CMakeFiles/revisim.dir/tasks/task_spec.cpp.o" "gcc" "src/CMakeFiles/revisim.dir/tasks/task_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augmented_test.dir/augmented_test.cpp.o"
+  "CMakeFiles/augmented_test.dir/augmented_test.cpp.o.d"
+  "augmented_test"
+  "augmented_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augmented_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

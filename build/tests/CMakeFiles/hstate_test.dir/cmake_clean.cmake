@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hstate_test.dir/hstate_test.cpp.o"
+  "CMakeFiles/hstate_test.dir/hstate_test.cpp.o.d"
+  "hstate_test"
+  "hstate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearizer_negative_test.dir/linearizer_negative_test.cpp.o"
+  "CMakeFiles/linearizer_negative_test.dir/linearizer_negative_test.cpp.o.d"
+  "linearizer_negative_test"
+  "linearizer_negative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearizer_negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modelcheck_test.dir/modelcheck_test.cpp.o"
+  "CMakeFiles/modelcheck_test.dir/modelcheck_test.cpp.o.d"
+  "modelcheck_test"
+  "modelcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modelcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_substrate_test.dir/register_substrate_test.cpp.o"
+  "CMakeFiles/register_substrate_test.dir/register_substrate_test.cpp.o.d"
+  "register_substrate_test"
+  "register_substrate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_grid_test.dir/simulation_grid_test.cpp.o"
+  "CMakeFiles/simulation_grid_test.dir/simulation_grid_test.cpp.o.d"
+  "simulation_grid_test"
+  "simulation_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

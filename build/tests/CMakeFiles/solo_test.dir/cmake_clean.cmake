@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solo_test.dir/solo_test.cpp.o"
+  "CMakeFiles/solo_test.dir/solo_test.cpp.o.d"
+  "solo_test"
+  "solo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windows_test.dir/windows_test.cpp.o"
+  "CMakeFiles/windows_test.dir/windows_test.cpp.o.d"
+  "windows_test"
+  "windows_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
