@@ -93,6 +93,11 @@ int main() {
       }
       std::printf("  %zu  %zu  %5zu  %18zu  %zu\n", f, mm, seeds, seeds,
                   violations);
+      benchutil::json_line("BENCH_linearization.json", "random-sweep",
+                           {{"f", f},
+                            {"m", mm},
+                            {"seeds", seeds},
+                            {"violations", violations}});
       ok = ok && violations == 0;
     }
   }
@@ -103,6 +108,10 @@ int main() {
       [] { return std::make_unique<TwoProcWorld>(); });
   std::printf("\n  exhaustive 2-process exploration: %zu executions, %s\n",
               res.executions, res.ok() ? "all linearized" : "VIOLATION");
+  benchutil::json_line("BENCH_linearization.json", "exhaustive-2proc",
+                       {{"executions", res.executions},
+                        {"exhausted", res.exhausted},
+                        {"ok", res.ok()}});
   benchutil::verdict(res.ok() && res.exhausted,
                      "exhaustive schedule exploration clean");
   return (ok && res.ok()) ? 0 : 1;

@@ -1,0 +1,206 @@
+// E13 - model-checker throughput: scheduler hot path and parallel scaling.
+//
+// Claim: the explorer's replay loop is cheap enough for >=10^5-execution
+// sweeps; disabling trace recording (fast mode) buys a constant-factor
+// speedup with bit-identical results, and the frontier-split parallel
+// explorer returns the same (executions, exhausted, violation, witness)
+// for every thread count while scaling with available cores.
+//
+// Two instances:
+//   register-script (5,5,4) - three processes doing 5/5/4 register writes;
+//     multinomial(14;5,5,4) = 252,252 executions of depth 14 with a trivial
+//     verdict, isolating scheduler + replay cost.
+//   augmented 3-proc        - the §3 augmented snapshot under a 3-process
+//     mixed script with full linearization verdicts, capped at 30,000
+//     executions: the realistic verdict-heavy workload.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/augmented/augmented_snapshot.h"
+#include "src/augmented/linearizer.h"
+#include "src/check/model_check.h"
+#include "src/check/parallel_explore.h"
+#include "src/runtime/scheduler.h"
+
+namespace {
+
+using namespace revisim;
+using aug::AugmentedSnapshot;
+using check::ExplorableWorld;
+using check::explore_schedules;
+using check::ScheduleExploreOptions;
+using check::ScheduleExploreResult;
+using runtime::ProcessId;
+using runtime::Scheduler;
+using runtime::StepKind;
+using runtime::Task;
+
+Task<void> write_script(Scheduler& sched, std::size_t obj,
+                        std::size_t writes) {
+  for (std::size_t i = 0; i < writes; ++i) {
+    co_await runtime::StepAwaiter<void>(
+        sched, [] {}, obj, StepKind::kWrite, {});
+  }
+}
+
+// Three register writers; the 252,252-leaf hot-path instance.
+class ScriptWorld final : public ExplorableWorld {
+ public:
+  explicit ScriptWorld(std::vector<std::size_t> writes) {
+    const std::size_t obj = sched_.register_object("r");
+    for (std::size_t p = 0; p < writes.size(); ++p) {
+      sched_.spawn(write_script(sched_, obj, writes[p]), "q");
+    }
+  }
+  Scheduler& scheduler() override { return sched_; }
+  std::optional<std::string> verdict(bool) override { return std::nullopt; }
+
+ private:
+  Scheduler sched_;
+};
+
+Task<void> bu_script(AugmentedSnapshot& m, ProcessId me, std::size_t j,
+                     Val v) {
+  std::vector<std::size_t> comps{j};
+  std::vector<Val> vals{v};
+  co_await m.BlockUpdate(me, comps, vals);
+}
+
+Task<void> wide_bu_script(AugmentedSnapshot& m, ProcessId me) {
+  std::vector<std::size_t> comps{0, 1};
+  std::vector<Val> vals{Val(10 * (me + 1)), Val(10 * (me + 1) + 1)};
+  co_await m.BlockUpdate(me, comps, vals);
+}
+
+Task<void> scan_script(AugmentedSnapshot& m, ProcessId me) {
+  co_await m.Scan(me);
+  co_await m.Scan(me);
+}
+
+// Augmented snapshot under three mixed processes with linearizer verdicts.
+class AugWorld final : public ExplorableWorld {
+ public:
+  AugWorld() {
+    m_ = std::make_unique<AugmentedSnapshot>(sched_, "M", 2, 3);
+    sched_.spawn(bu_script(*m_, 0, 0, 1), "q1");
+    sched_.spawn(wide_bu_script(*m_, 1), "q2");
+    sched_.spawn(scan_script(*m_, 2), "q3");
+  }
+  Scheduler& scheduler() override { return sched_; }
+  std::optional<std::string> verdict(bool) override {
+    auto lin = aug::linearize(m_->log(), 2);
+    if (!lin.ok()) {
+      return lin.violations.front();
+    }
+    return std::nullopt;
+  }
+
+ private:
+  Scheduler sched_;
+  std::unique_ptr<AugmentedSnapshot> m_;
+};
+
+struct Measured {
+  ScheduleExploreResult result;
+  double seconds = 0;
+};
+
+template <typename Fn>
+Measured timed(Fn&& run) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Measured m;
+  m.result = run();
+  m.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+  return m;
+}
+
+bool same(const ScheduleExploreResult& a, const ScheduleExploreResult& b) {
+  return a.executions == b.executions && a.exhausted == b.exhausted &&
+         a.violation == b.violation && a.witness == b.witness;
+}
+
+bool run_instance(const std::string& name,
+                  const std::function<std::unique_ptr<ExplorableWorld>()>& make,
+                  std::size_t max_executions) {
+  ScheduleExploreOptions traced;
+  traced.max_executions = max_executions;
+  traced.record_traces = true;
+  traced.warm_worlds = 0;  // the pre-fast-path explorer's behaviour
+  ScheduleExploreOptions fast;
+  fast.max_executions = max_executions;
+
+  std::printf("\n  instance %s\n", name.c_str());
+  std::printf("  %-14s %10s %9s %12s %8s\n", "config", "execs", "sec",
+              "execs/sec", "speedup");
+
+  const auto baseline = timed([&] { return explore_schedules(make, traced); });
+  const auto serial_fast = timed([&] { return explore_schedules(make, fast); });
+
+  bool ok = true;
+  auto row = [&](const std::string& config, const Measured& m,
+                 std::size_t threads) {
+    const double rate = m.result.executions / std::max(m.seconds, 1e-9);
+    const double speedup = baseline.seconds / std::max(m.seconds, 1e-9);
+    std::printf("  %-14s %10zu %9.3f %12.0f %7.2fx\n", config.c_str(),
+                m.result.executions, m.seconds, rate, speedup);
+    const bool identical = same(m.result, baseline.result);
+    ok = ok && identical;
+    benchutil::json_line(
+        "BENCH_modelcheck.json", "modelcheck-scaling",
+        {{"instance", name},
+         {"config", config},
+         {"threads", threads},
+         {"executions", m.result.executions},
+         {"exhausted", m.result.exhausted},
+         {"seconds", m.seconds},
+         {"execs_per_sec", rate},
+         {"speedup_vs_traced", speedup},
+         {"identical_to_baseline", identical}});
+  };
+  row("serial-traced", baseline, 1);
+  row("serial-fast", serial_fast, 1);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    check::ParallelExploreOptions popt;
+    popt.base = fast;
+    popt.threads = threads;
+    const auto par =
+        timed([&] { return check::parallel_explore_schedules(make, popt); });
+    row("parallel-" + std::to_string(threads), par, threads);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header(
+      "E13: model-checker throughput (fast path + parallel frontier split)",
+      "identical results across trace mode, warm-pool size and thread "
+      "count; fast mode and parallelism only change wall-clock");
+  std::printf("\n  hardware threads: %u\n",
+              std::thread::hardware_concurrency());
+
+  bool ok = true;
+  ok &= run_instance(
+      "register-script-554",
+      [] {
+        return std::make_unique<ScriptWorld>(
+            std::vector<std::size_t>{5, 5, 4});
+      },
+      500'000);
+  ok &= run_instance(
+      "augmented-3proc", [] { return std::make_unique<AugWorld>(); }, 30'000);
+
+  benchutil::verdict(
+      ok, "all explorer configurations returned bit-identical results");
+  return ok ? 0 : 1;
+}

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdio>
+#include <initializer_list>
 #include <string>
+#include <variant>
 
 namespace revisim::benchutil {
 
@@ -20,6 +22,77 @@ inline void header(const std::string& experiment, const std::string& claim) {
 
 inline void verdict(bool ok, const std::string& what) {
   std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+// --- machine-readable records ---
+//
+// Experiment binaries append one JSON object per record to a BENCH_*.json
+// file next to the human tables, so sweeps over commits can diff numbers
+// without scraping stdout.  Usage:
+//
+//   benchutil::json_line("BENCH_foo.json", "serial-vs-parallel",
+//                        {{"threads", 8}, {"speedup", 3.4}, {"ok", true}});
+
+using JsonValue = std::variant<std::string, const char*, double, std::size_t,
+                               long long, bool>;
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_render(const JsonValue& v) {
+  struct Render {
+    std::string operator()(const std::string& s) const {
+      return "\"" + json_escape(s) + "\"";
+    }
+    std::string operator()(const char* s) const {
+      return "\"" + json_escape(s) + "\"";
+    }
+    std::string operator()(double d) const {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g", d);
+      return buf;
+    }
+    std::string operator()(std::size_t n) const { return std::to_string(n); }
+    std::string operator()(long long n) const { return std::to_string(n); }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+  };
+  return std::visit(Render{}, v);
+}
+
+// Appends {"name": <name>, <key>: <value>, ...} as one line of `path` and
+// echoes it to stdout.
+inline void json_line(
+    const std::string& path, const std::string& name,
+    std::initializer_list<std::pair<const char*, JsonValue>> fields) {
+  std::string line = "{\"name\":\"" + json_escape(name) + "\"";
+  for (const auto& [key, value] : fields) {
+    line += ",\"" + json_escape(key) + "\":" + json_render(value);
+  }
+  line += "}";
+  std::printf("%s\n", line.c_str());
+  if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+  }
 }
 
 }  // namespace revisim::benchutil

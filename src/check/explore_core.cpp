@@ -1,0 +1,132 @@
+#include "src/check/explore_core.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace revisim::check::detail {
+namespace {
+
+struct Frame {
+  std::vector<runtime::ProcessId> choices;  // runnable at this depth
+  std::size_t next = 0;                     // next choice to try
+};
+
+// A world parked at a branch node: it has executed schedule[0..len) and is
+// poised to take any of the node's untried choices with a single step.
+struct ParkedWorld {
+  std::size_t len = 0;
+  std::unique_ptr<ExplorableWorld> world;
+};
+
+}  // namespace
+
+SubtreeResult explore_subtree(
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const std::vector<runtime::ProcessId>& prefix,
+    const SubtreeOptions& options, const AbortProbe& abort) {
+  SubtreeResult res;
+  const std::size_t cap = std::max<std::size_t>(options.max_executions, 1);
+
+  std::vector<runtime::ProcessId> schedule = prefix;
+  schedule.reserve(std::max(options.max_steps, prefix.size()));
+
+  // Frames cover local depths only (schedule[prefix.size() + i]).  The frame
+  // vector never shrinks, so `choices` buffers keep their capacity across
+  // backtracks and steady-state exploration allocates nothing per node.
+  std::vector<Frame> stack;
+  std::size_t depth = 0;
+
+  // Warm worlds parked at branch nodes of the current path, by increasing
+  // len; all of them have executed a prefix of `schedule`.
+  std::vector<ParkedWorld> pool;
+
+  auto fresh_world = [&] {
+    auto w = factory();
+    if (!options.record_traces) {
+      w->scheduler().set_recording(false);
+    }
+    return w;
+  };
+
+  // A world that has executed schedule[0..len), resuming from the deepest
+  // parked ancestor when one is available.
+  auto world_at = [&](std::size_t len) {
+    std::unique_ptr<ExplorableWorld> w;
+    std::size_t from = 0;
+    if (!pool.empty() && pool.back().len <= len) {
+      from = pool.back().len;
+      w = std::move(pool.back().world);
+      pool.pop_back();
+    } else {
+      w = fresh_world();
+    }
+    for (std::size_t i = from; i < len; ++i) {
+      w->scheduler().run_step(schedule[i]);
+    }
+    return w;
+  };
+
+  auto world = world_at(prefix.size());
+  std::vector<runtime::ProcessId> runnable;
+  for (;;) {
+    world->scheduler().runnable_into(runnable);
+    const bool complete = runnable.empty();
+    if (complete || schedule.size() >= options.max_steps) {
+      ++res.executions;
+      if (auto v = world->verdict(complete)) {
+        res.violation = std::move(v);
+        res.witness = schedule;
+        res.violation_index = res.executions;
+        return res;
+      }
+      // Backtrack to the deepest frame with an untried choice.  The order
+      // matters for cap accounting: a walk that ends exactly at the cap with
+      // nothing left to explore is exhausted, not truncated.
+      while (depth > 0 && stack[depth - 1].next >= stack[depth - 1].choices.size()) {
+        --depth;
+        schedule.pop_back();
+      }
+      if (depth == 0) {
+        return res;
+      }
+      if (res.executions >= cap || (abort && abort())) {
+        res.fully_explored = false;
+        return res;
+      }
+      Frame& f = stack[depth - 1];
+      schedule.back() = f.choices[f.next++];
+      // Parked worlds at or past the divergence point executed the old
+      // branch; shallower ones still lie on the new schedule.
+      while (!pool.empty() && pool.back().len >= schedule.size()) {
+        pool.pop_back();
+      }
+      world = world_at(schedule.size());
+      continue;
+    }
+    // Descend along the first untried choice.
+    if (depth == stack.size()) {
+      stack.emplace_back();
+    }
+    Frame& f = stack[depth];
+    f.choices.assign(runnable.begin(), runnable.end());
+    f.next = 1;
+    ++depth;
+    const bool park = f.choices.size() >= 2 && pool.size() < options.warm_worlds;
+    schedule.push_back(f.choices[0]);
+    if (park) {
+      // Keep this world warm at the branch node: the next backtrack here
+      // resumes it with one step instead of a full rebuild.  The descent
+      // world is rebuilt from scratch, so parking trades replay now for
+      // replay later - it rearranges cost towards the (cheap) live path
+      // without ever exceeding the naive rebuild total.
+      pool.push_back(ParkedWorld{schedule.size() - 1, std::move(world)});
+      world = fresh_world();
+      for (std::size_t i = 0; i + 1 < schedule.size(); ++i) {
+        world->scheduler().run_step(schedule[i]);
+      }
+    }
+    world->scheduler().run_step(schedule.back());
+  }
+}
+
+}  // namespace revisim::check::detail

@@ -1,0 +1,58 @@
+// Shared DFS engine behind explore_schedules and the parallel explorer.
+//
+// explore_subtree enumerates, in lexicographic (DFS preorder) schedule
+// order, every execution whose schedule extends a given prefix.  The serial
+// explorer is the empty-prefix instance; the parallel explorer farms one
+// instance per frontier prefix to a worker pool.  Keeping a single engine is
+// what makes the serial/parallel parity guarantee hold by construction.
+//
+// Cost model.  Coroutine worlds cannot be copied or rewound, so a world's
+// lifetime covers exactly one root-to-leaf path and evaluating E executions
+// of depth <= D necessarily costs E factory calls and up to E*D steps - the
+// replay explorer already meets that lower bound.  What this engine adds
+// are the constant-factor levers: worlds run with trace recording off
+// (Scheduler fast mode), the runnable() buffer and the DFS frames are
+// reused instead of reallocated per node, and a bounded pool of "warm"
+// worlds parked at branch nodes turns the common deepest-frame backtrack
+// into a one-step resume instead of a full rebuild.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/check/model_check.h"
+
+namespace revisim::check::detail {
+
+struct SubtreeOptions {
+  std::size_t max_steps = 64;            // depth bound, prefix included
+  std::size_t max_executions = 500'000;  // execution cap (values < 1 act as 1)
+  bool record_traces = false;            // leave Scheduler fast mode off?
+  std::size_t warm_worlds = 8;           // checkpoint pool capacity (0 = off)
+};
+
+struct SubtreeResult {
+  std::size_t executions = 0;
+  // False iff the cap (or an abort) truncated the walk while unexplored
+  // schedules remained; a walk that ends exactly when the subtree does is
+  // fully explored even if it ends at the cap.
+  bool fully_explored = true;
+  std::optional<std::string> violation;      // first violation in lex order
+  std::vector<runtime::ProcessId> witness;   // its full schedule (with prefix)
+  std::size_t violation_index = 0;           // 1-based execution count at it
+};
+
+// Polled between executions; returning true abandons the walk (the caller
+// discards the result).  Used by the parallel explorer to cancel subtrees
+// that can no longer affect the merged outcome.
+using AbortProbe = std::function<bool()>;
+
+SubtreeResult explore_subtree(
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const std::vector<runtime::ProcessId>& prefix, const SubtreeOptions& options,
+    const AbortProbe& abort = {});
+
+}  // namespace revisim::check::detail

@@ -1,65 +1,25 @@
 #include "src/check/model_check.h"
 
+#include "src/check/explore_core.h"
+
 namespace revisim::check {
-namespace {
-
-struct Frame {
-  std::vector<runtime::ProcessId> choices;  // runnable at this depth
-  std::size_t next = 0;                     // next choice to try
-};
-
-}  // namespace
 
 ScheduleExploreResult explore_schedules(
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
     const ScheduleExploreOptions& options) {
+  detail::SubtreeOptions sub;
+  sub.max_steps = options.max_steps;
+  sub.max_executions = options.max_executions;
+  sub.record_traces = options.record_traces;
+  sub.warm_worlds = options.warm_worlds;
+  auto sr = detail::explore_subtree(factory, {}, sub);
+
   ScheduleExploreResult res;
-  std::vector<Frame> stack;
-  std::vector<runtime::ProcessId> prefix;
-
-  // Rebuilds a fresh world positioned after `prefix` (used on backtrack;
-  // descending steps the live world instead).
-  auto replay = [&factory](const std::vector<runtime::ProcessId>& p) {
-    auto world = factory();
-    for (runtime::ProcessId pid : p) {
-      world->scheduler().run_step(pid);
-    }
-    return world;
-  };
-
-  auto world = factory();
-  for (;;) {
-    auto runnable = world->scheduler().runnable();
-    const bool complete = runnable.empty();
-    if (complete || prefix.size() >= options.max_steps) {
-      ++res.executions;
-      if (auto v = world->verdict(complete)) {
-        res.violation = std::move(v);
-        res.witness = prefix;
-        return res;
-      }
-      if (res.executions >= options.max_executions) {
-        res.exhausted = false;
-        return res;
-      }
-      // Backtrack to the deepest frame with an untried choice.
-      while (!stack.empty() &&
-             stack.back().next >= stack.back().choices.size()) {
-        stack.pop_back();
-        prefix.pop_back();
-      }
-      if (stack.empty()) {
-        return res;
-      }
-      prefix.back() = stack.back().choices[stack.back().next++];
-      world = replay(prefix);
-      continue;
-    }
-    // Descend along the first untried choice.
-    stack.push_back(Frame{runnable, 1});
-    prefix.push_back(runnable[0]);
-    world->scheduler().run_step(runnable[0]);
-  }
+  res.executions = sr.executions;
+  res.exhausted = sr.fully_explored;
+  res.violation = std::move(sr.violation);
+  res.witness = std::move(sr.witness);
+  return res;
 }
 
 }  // namespace revisim::check

@@ -3,10 +3,13 @@
 // Coroutine frames cannot be copied, so the explorer enumerates schedules by
 // *replay*: it rebuilds a fresh world from the user's factory, replays a
 // schedule prefix step by step, inspects which processes are runnable, and
-// backtracks.  On small instances (two or three processes, a handful of
-// operations each) this enumerates every interleaving of the real system -
-// the strongest evidence the reproduction has for the augmented snapshot's
-// §3.3 properties, complementing the per-execution linearizer.
+// backtracks.  Exploration runs on the scheduler's fast mode (no trace
+// recording) with warm-world checkpoints, and the companion parallel
+// explorer (src/check/parallel_explore.h) farms independent subtrees to a
+// worker pool, so instances well beyond the historical "two or three
+// processes, a handful of operations" ceiling are in reach - the strongest
+// evidence the reproduction has for the augmented snapshot's §3.3
+// properties, complementing the per-execution linearizer.
 #pragma once
 
 #include <functional>
@@ -33,11 +36,23 @@ class ExplorableWorld {
 struct ScheduleExploreOptions {
   std::size_t max_steps = 64;           // depth bound per execution
   std::size_t max_executions = 500'000; // exploration cap
+  // Leave trace recording on during exploration.  Off by default: no
+  // explorer verdict reads per-execution traces, and fast mode makes every
+  // replayed step cheaper.  Executions are step-for-step identical either
+  // way (verdicts, step counts and linearization points are unchanged).
+  bool record_traces = false;
+  // Capacity of the warm-world checkpoint pool: worlds parked at branch
+  // nodes of the current DFS path so a backtrack resumes from the nearest
+  // retained prefix instead of rebuilding from scratch.  0 disables.
+  std::size_t warm_worlds = 8;
 };
 
 struct ScheduleExploreResult {
   std::size_t executions = 0;
-  bool exhausted = true;  // false iff max_executions was hit
+  // True iff every schedule was explored.  False means max_executions
+  // truncated the search while unexplored schedules remained; a search that
+  // ends exactly when the tree does is exhausted even if it ends at the cap.
+  bool exhausted = true;
   std::optional<std::string> violation;
   std::vector<runtime::ProcessId> witness;  // schedule of the violation
 

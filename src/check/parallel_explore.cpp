@@ -1,0 +1,277 @@
+#include "src/check/parallel_explore.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/check/explore_core.h"
+
+namespace revisim::check {
+namespace {
+
+using runtime::ProcessId;
+
+// One entry of the lexicographically ordered frontier: either a leaf that
+// was reached (and judged) above the frontier during generation, or the
+// root prefix of a subtree job.
+struct FrontierItem {
+  bool is_job = false;
+  std::vector<ProcessId> schedule;            // job prefix, or leaf schedule
+  std::optional<std::string> leaf_violation;  // for generation-phase leaves
+};
+
+// Serial DFS down to `frontier` emitting items in lexicographic schedule
+// order - exactly the order the serial explorer would encounter them.
+// Generation stops at the first violating shallow leaf: no later item can
+// affect the merged result (the merge returns at or before it).
+std::vector<FrontierItem> generate_frontier(
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    std::size_t frontier, const ScheduleExploreOptions& options) {
+  std::vector<FrontierItem> items;
+  struct Frame {
+    std::vector<ProcessId> choices;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<ProcessId> schedule;
+
+  auto make_world = [&] {
+    auto world = factory();
+    if (!options.record_traces) {
+      world->scheduler().set_recording(false);
+    }
+    for (ProcessId pid : schedule) {
+      world->scheduler().run_step(pid);
+    }
+    return world;
+  };
+
+  auto world = make_world();
+  std::vector<ProcessId> runnable;
+  for (;;) {
+    world->scheduler().runnable_into(runnable);
+    const bool complete = runnable.empty();
+    const bool at_leaf = complete || schedule.size() >= options.max_steps;
+    if (at_leaf || schedule.size() >= frontier) {
+      FrontierItem item;
+      item.schedule = schedule;
+      if (at_leaf) {
+        item.leaf_violation = world->verdict(complete);
+      } else {
+        item.is_job = true;
+      }
+      const bool stop = item.leaf_violation.has_value();
+      items.push_back(std::move(item));
+      if (stop) {
+        return items;
+      }
+      while (!stack.empty() &&
+             stack.back().next >= stack.back().choices.size()) {
+        stack.pop_back();
+        schedule.pop_back();
+      }
+      if (stack.empty()) {
+        return items;
+      }
+      schedule.back() = stack.back().choices[stack.back().next++];
+      world = make_world();
+      continue;
+    }
+    stack.push_back(Frame{runnable, 1});
+    schedule.push_back(runnable[0]);
+    world->scheduler().run_step(runnable[0]);
+  }
+}
+
+}  // namespace
+
+ScheduleExploreResult parallel_explore_schedules(
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const ParallelExploreOptions& options) {
+  const std::size_t cap = std::max<std::size_t>(options.base.max_executions, 1);
+  const std::size_t frontier =
+      std::min(options.frontier_depth, options.base.max_steps);
+
+  auto items = generate_frontier(factory, frontier, options.base);
+
+  std::vector<std::size_t> job_items;  // item indices that are jobs
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].is_job) {
+      job_items.push_back(i);
+    }
+  }
+
+  std::vector<detail::SubtreeResult> job_results(items.size());
+  std::vector<std::exception_ptr> job_errors(items.size());
+
+  if (!job_items.empty()) {
+    std::size_t threads = options.threads != 0
+                              ? options.threads
+                              : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads, job_items.size());
+
+    std::atomic<std::size_t> next_job{0};
+    // Item index of the *first found* violating job; a monotone min.  Jobs
+    // with larger indices can never be read by the merge (it returns at or
+    // before this index), so they are skipped or aborted - an optimization
+    // that cannot change the merged output.
+    std::atomic<std::size_t> first_violation{items.size()};
+
+    // Global cap coupling.  Serially the cap bounds total work, but an
+    // isolated job only knows its local cap, so a capped search over a huge
+    // tree would still enumerate every subtree.  Workers therefore advance
+    // a shared lexicographic prefix of *completed* items and its cumulative
+    // execution count, packed (index, executions) into one atomic word.
+    // For a job at item i the quantity prefix_cum + (i - prefix_idx) is a
+    // sound lower bound on the serial execution count before i (every item
+    // holds at least one execution), so once the bound reaches the cap the
+    // merge provably returns before reading i and the job can be skipped
+    // or aborted - again without any effect on the merged output.
+    // item_done holds executions + 1 per completed item (0 = incomplete).
+    std::vector<std::atomic<std::uint64_t>> item_done(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!items[i].is_job) {
+        item_done[i].store(2, std::memory_order_relaxed);  // 1 execution
+      }
+    }
+    std::mutex prefix_mu;
+    std::atomic<std::uint64_t> prefix_state{0};
+    auto pack = [](std::uint64_t idx, std::uint64_t cum) {
+      return (cum << 32) | idx;
+    };
+    auto advance_prefix = [&] {
+      std::lock_guard<std::mutex> lock(prefix_mu);
+      std::uint64_t state = prefix_state.load(std::memory_order_relaxed);
+      std::uint64_t idx = state & 0xffffffffu;
+      std::uint64_t cum = state >> 32;
+      // Clamp so the (index, executions) packing never overflows 32 bits;
+      // bounds stay sound (clamping only lowers them).
+      const std::uint64_t cum_limit =
+          std::min<std::uint64_t>(cap, 0xffffffffu);
+      while (idx < items.size() && cum < cum_limit) {
+        const std::uint64_t v = item_done[idx].load(std::memory_order_relaxed);
+        if (v == 0) {
+          break;
+        }
+        cum = std::min(cum + (v - 1), cum_limit);
+        ++idx;
+      }
+      prefix_state.store(pack(idx, cum), std::memory_order_relaxed);
+    };
+    auto bound_before = [&](std::size_t item_idx) -> std::uint64_t {
+      const std::uint64_t state = prefix_state.load(std::memory_order_relaxed);
+      const std::uint64_t idx = state & 0xffffffffu;
+      const std::uint64_t cum = state >> 32;
+      return idx <= item_idx ? cum + (item_idx - idx) : cum;
+    };
+
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t j = next_job.fetch_add(1, std::memory_order_relaxed);
+        if (j >= job_items.size()) {
+          return;
+        }
+        const std::size_t item_idx = job_items[j];
+        if (item_idx > first_violation.load(std::memory_order_relaxed) ||
+            bound_before(item_idx) >= cap) {
+          continue;  // the merge returns before this item; result unread
+        }
+        detail::SubtreeOptions sub;
+        sub.max_steps = options.base.max_steps;
+        const std::uint64_t before = bound_before(item_idx);
+        sub.max_executions = cap > before ? cap - before : 1;
+        sub.record_traces = options.base.record_traces;
+        sub.warm_worlds = options.base.warm_worlds;
+        auto abort = [&, item_idx] {
+          return item_idx > first_violation.load(std::memory_order_relaxed) ||
+                 bound_before(item_idx) >= cap;
+        };
+        try {
+          auto jr =
+              detail::explore_subtree(factory, items[item_idx].schedule, sub,
+                                      abort);
+          if (jr.violation) {
+            std::size_t cur = first_violation.load(std::memory_order_relaxed);
+            while (item_idx < cur && !first_violation.compare_exchange_weak(
+                                         cur, item_idx,
+                                         std::memory_order_relaxed)) {
+            }
+          }
+          job_results[item_idx] = std::move(jr);
+          item_done[item_idx].store(job_results[item_idx].executions + 1,
+                                    std::memory_order_release);
+          advance_prefix();
+        } catch (...) {
+          job_errors[item_idx] = std::current_exception();
+        }
+      }
+    };
+
+    if (threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) {
+        pool.emplace_back(worker);
+      }
+      for (auto& t : pool) {
+        t.join();
+      }
+    }
+  }
+
+  // Deterministic merge: replay the serial explorer's accounting over the
+  // lexicographically ordered items.  Thread count and worker interleaving
+  // influenced only results the merge never reads.
+  ScheduleExploreResult res;
+  std::size_t cum = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (job_errors[i]) {
+      // The serial explorer would have thrown inside this subtree.
+      std::rethrow_exception(job_errors[i]);
+    }
+    std::size_t n = 1;
+    bool fully = true;
+    std::optional<std::string> violation;
+    std::size_t violation_index = 1;
+    std::vector<ProcessId>* witness = &items[i].schedule;
+    if (items[i].is_job) {
+      detail::SubtreeResult& jr = job_results[i];
+      n = jr.executions;
+      fully = jr.fully_explored;
+      violation = jr.violation;
+      violation_index = jr.violation_index;
+      witness = &jr.witness;
+    } else {
+      violation = items[i].leaf_violation;
+    }
+    if (violation && cum + violation_index <= cap) {
+      res.executions = cum + violation_index;
+      res.violation = std::move(violation);
+      res.witness = std::move(*witness);
+      return res;  // exhausted stays true, as in the serial explorer
+    }
+    if (cum + n >= cap) {
+      // The serial walk reaches the cap inside (or exactly at the end of)
+      // this item.  It is a truncation iff any work would have remained:
+      // a violation past the cap, a locally truncated subtree, executions
+      // beyond the cap, or any later item (each holds >= 1 execution).
+      const bool truncated = violation.has_value() || !fully ||
+                             cum + n > cap || i + 1 < items.size();
+      res.executions = cap;
+      res.exhausted = !truncated;
+      return res;
+    }
+    cum += n;
+  }
+  res.executions = cum;
+  res.exhausted = true;
+  return res;
+}
+
+}  // namespace revisim::check

@@ -1,0 +1,40 @@
+// Parallel schedule exploration: the schedule tree is split at a frontier
+// depth into independent prefix jobs, and subtrees are farmed to a worker
+// pool.  Worlds are materialized per job from the user factory (they are
+// independent by construction, so subtree exploration is embarrassingly
+// parallel); results merge deterministically in lexicographic prefix order.
+//
+// Guarantees, independent of thread count and worker interleaving:
+//   * `executions`, `exhausted`, `violation` and `witness` are bit-identical
+//     to the serial explore_schedules on the same factory and options -
+//     including under a max_executions cap, whose accounting is replayed in
+//     lexicographic order during the merge;
+//   * the reported witness is the lexicographically smallest violating
+//     schedule (identical to the serial explorer's DFS-first violation).
+//
+// The factory is invoked concurrently from worker threads and must be
+// thread-safe; worlds it returns must not share mutable state.  Every world
+// built by the seed's tests already satisfies this (each world owns its
+// scheduler and objects outright).
+#pragma once
+
+#include "src/check/model_check.h"
+
+namespace revisim::check {
+
+struct ParallelExploreOptions {
+  ScheduleExploreOptions base{};
+  // Worker threads; 0 means std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  // Depth at which the schedule tree is split into prefix jobs.  The
+  // generation walk above the frontier is serial and costs one bounded DFS;
+  // larger values yield more, smaller jobs (better load balance, more
+  // replay overhead per job).
+  std::size_t frontier_depth = 6;
+};
+
+ScheduleExploreResult parallel_explore_schedules(
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const ParallelExploreOptions& options = {});
+
+}  // namespace revisim::check

@@ -33,7 +33,9 @@ class MWSnapshot {
             [this, j, v] { comps_.at(j) = v; },
             id_,
             runtime::StepKind::kUpdate,
-            "c" + std::to_string(j) + "=" + std::to_string(v)};
+            sched_.recording()
+                ? "c" + std::to_string(j) + "=" + std::to_string(v)
+                : std::string{}};
   }
 
   [[nodiscard]] const View& peek() const noexcept { return comps_; }

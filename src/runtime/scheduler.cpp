@@ -22,13 +22,18 @@ ProcessId Scheduler::spawn(Task<void> body, std::string name) {
 
 std::vector<ProcessId> Scheduler::runnable() const {
   std::vector<ProcessId> out;
+  runnable_into(out);
+  return out;
+}
+
+void Scheduler::runnable_into(std::vector<ProcessId>& out) const {
+  out.clear();
   for (ProcessId i = 0; i < procs_.size(); ++i) {
     const Process& p = *procs_[i];
     if (!p.done && (!p.started || p.poised)) {
       out.push_back(i);
     }
   }
-  return out;
 }
 
 bool Scheduler::all_done() const {
@@ -90,8 +95,11 @@ void Scheduler::run_step(ProcessId pid) {
 
 void Scheduler::execute_poised_step(Process& p, ProcessId pid) {
   p.poised = false;
-  trace_.events.push_back(Event{trace_.size(), pid, p.step_object, p.step_kind,
-                                std::move(p.step_detail)});
+  if (recording_) {
+    trace_.events.push_back(Event{step_count_, pid, p.step_object, p.step_kind,
+                                  std::move(p.step_detail)});
+  }
+  ++step_count_;
   ++p.steps;
   p.exec();          // the atomic operation on the object
   auto resumer = p.resumer;

@@ -64,13 +64,28 @@ class Scheduler {
   // increasing id order.
   [[nodiscard]] std::vector<ProcessId> runnable() const;
 
+  // Allocation-free variant: clears `out` and fills it with the runnable ids.
+  // The schedule explorer calls this once per tree node, so reusing one
+  // buffer there removes a vector allocation from the exploration hot path.
+  void runnable_into(std::vector<ProcessId>& out) const;
+
   [[nodiscard]] bool all_done() const;
   [[nodiscard]] bool is_done(ProcessId pid) const { return procs_.at(pid)->done; }
   [[nodiscard]] std::size_t process_count() const noexcept { return procs_.size(); }
   [[nodiscard]] std::size_t steps_taken(ProcessId pid) const {
     return procs_.at(pid)->steps;
   }
-  [[nodiscard]] std::size_t total_steps() const noexcept { return trace_.size(); }
+  [[nodiscard]] std::size_t total_steps() const noexcept { return step_count_; }
+
+  // Trace recording toggle (on by default).  With recording off the
+  // scheduler runs in "fast mode": steps are counted (total_steps and the
+  // per-process counters stay exact, so linearization points derived from
+  // them are unchanged) but no Event is appended and base objects skip
+  // building step-detail strings.  Executions are step-for-step identical
+  // either way; only the Trace is empty.  The schedule explorer runs with
+  // recording off because nothing reads per-execution traces there.
+  void set_recording(bool on) noexcept { recording_ = on; }
+  [[nodiscard]] bool recording() const noexcept { return recording_; }
 
   // Process currently executing a step (valid only inside a step).
   [[nodiscard]] ProcessId current() const {
@@ -117,8 +132,10 @@ class Scheduler {
   std::vector<std::unique_ptr<Process>> procs_;
   std::vector<std::string> object_names_;
   Trace trace_;
+  std::size_t step_count_ = 0;  // == trace_.size() while recording
   ProcessId current_ = 0;
   bool in_step_ = false;
+  bool recording_ = true;
 };
 
 // Awaitable representing one atomic base-object step.  `op` runs when the

@@ -6,6 +6,7 @@
 #include "src/augmented/augmented_snapshot.h"
 #include "src/augmented/linearizer.h"
 #include "src/check/model_check.h"
+#include "src/check/parallel_explore.h"
 #include "src/runtime/scheduler.h"
 
 namespace revisim {
@@ -142,6 +143,41 @@ class BrokenWorld final : public ExplorableWorld {
   Scheduler sched_;
   std::unique_ptr<AugmentedSnapshot> m_;
 };
+
+// The parallel explorer must reproduce the serial explorer bit-for-bit on
+// the seed instances, for any thread count.
+TEST(ScheduleExplorer, ParallelParityOnSeedInstances) {
+  struct Case {
+    AugWorld::Shape shape;
+    std::size_t max_executions;
+  };
+  const Case cases[] = {
+      {AugWorld::Shape::kTwoSingles, 500'000},
+      {AugWorld::Shape::kWideVsScan, 500'000},
+      {AugWorld::Shape::kWideVsWide, 500'000},
+      {AugWorld::Shape::kThreeMixed, 20'000},  // cap exercised in the merge
+  };
+  for (const Case& c : cases) {
+    auto factory = [shape = c.shape] {
+      return std::make_unique<AugWorld>(shape);
+    };
+    check::ScheduleExploreOptions base;
+    base.max_executions = c.max_executions;
+    auto serial = explore_schedules(factory, base);
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      check::ParallelExploreOptions opt;
+      opt.base = base;
+      opt.threads = threads;
+      auto par = check::parallel_explore_schedules(factory, opt);
+      const auto what = "shape=" + std::to_string(int(c.shape)) +
+                        " threads=" + std::to_string(threads);
+      EXPECT_EQ(par.executions, serial.executions) << what;
+      EXPECT_EQ(par.exhausted, serial.exhausted) << what;
+      EXPECT_EQ(par.violation, serial.violation) << what;
+      EXPECT_EQ(par.witness, serial.witness) << what;
+    }
+  }
+}
 
 TEST(ScheduleExplorer, FindsPlantedViolationWithWitness) {
   auto res =

@@ -1,0 +1,314 @@
+// Parallel schedule exploration and explorer-core semantics on worlds whose
+// schedule trees are known in closed form.
+//
+// Each ScriptWorld process performs a fixed number of writes, and every
+// write appends the process id to a world-local order log, so a completed
+// execution's log *is* its schedule.  Leaf counts are multinomial
+// coefficients and a planted violation's DFS index is the lexicographic
+// rank of its schedule - which pins down cap-boundary accounting, the
+// lexicographically-smallest-witness guarantee, and bit-identical results
+// across thread counts, frontier depths and warm-world pool sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/augmented/augmented_snapshot.h"
+#include "src/augmented/linearizer.h"
+#include "src/check/model_check.h"
+#include "src/check/parallel_explore.h"
+#include "src/runtime/scheduler.h"
+
+namespace revisim {
+namespace {
+
+using aug::AugmentedSnapshot;
+using check::ExplorableWorld;
+using check::explore_schedules;
+using check::parallel_explore_schedules;
+using check::ParallelExploreOptions;
+using check::ScheduleExploreOptions;
+using check::ScheduleExploreResult;
+using runtime::ProcessId;
+using runtime::Scheduler;
+using runtime::StepKind;
+using runtime::Task;
+
+using Schedule = std::vector<ProcessId>;
+
+Task<void> count_script(Scheduler& sched, std::size_t obj,
+                        std::vector<ProcessId>& order, ProcessId me,
+                        std::size_t writes) {
+  for (std::size_t i = 0; i < writes; ++i) {
+    co_await runtime::StepAwaiter<void>(
+        sched, [&order, me] { order.push_back(me); }, obj, StepKind::kWrite,
+        {});
+  }
+}
+
+// Processes i = 0..n-1 perform writes[i] steps each; flags a violation on
+// any completed execution whose schedule is in `planted`.
+class ScriptWorld final : public ExplorableWorld {
+ public:
+  ScriptWorld(std::vector<std::size_t> writes, std::vector<Schedule> planted)
+      : planted_(std::move(planted)) {
+    const std::size_t obj = sched_.register_object("r");
+    for (ProcessId p = 0; p < writes.size(); ++p) {
+      sched_.spawn(count_script(sched_, obj, order_, p, writes[p]), "q");
+    }
+  }
+
+  Scheduler& scheduler() override { return sched_; }
+
+  std::optional<std::string> verdict(bool complete) override {
+    if (complete &&
+        std::find(planted_.begin(), planted_.end(), order_) != planted_.end()) {
+      return "planted violation";
+    }
+    return std::nullopt;
+  }
+
+ private:
+  Scheduler sched_;
+  std::vector<ProcessId> order_;
+  std::vector<Schedule> planted_;
+};
+
+auto script_factory(std::vector<std::size_t> writes,
+                    std::vector<Schedule> planted = {}) {
+  return [writes = std::move(writes), planted = std::move(planted)] {
+    return std::make_unique<ScriptWorld>(writes, planted);
+  };
+}
+
+void expect_same(const ScheduleExploreResult& got,
+                 const ScheduleExploreResult& want, const std::string& what) {
+  EXPECT_EQ(got.executions, want.executions) << what;
+  EXPECT_EQ(got.exhausted, want.exhausted) << what;
+  EXPECT_EQ(got.violation, want.violation) << what;
+  EXPECT_EQ(got.witness, want.witness) << what;
+}
+
+// --- cap accounting at the boundary (serial explorer) ---
+
+TEST(ExploreCap, ExactlyAtTreeSizeIsExhausted) {
+  // Two processes, two writes each: C(4,2) = 6 leaves.
+  ScheduleExploreOptions opt;
+  opt.max_executions = 6;
+  auto res = explore_schedules(script_factory({2, 2}), opt);
+  EXPECT_EQ(res.executions, 6u);
+  EXPECT_TRUE(res.exhausted);  // the cap coincided with the end of the tree
+  EXPECT_FALSE(res.violation);
+}
+
+TEST(ExploreCap, BelowTreeSizeTruncates) {
+  ScheduleExploreOptions opt;
+  opt.max_executions = 5;
+  auto res = explore_schedules(script_factory({2, 2}), opt);
+  EXPECT_EQ(res.executions, 5u);
+  EXPECT_FALSE(res.exhausted);
+}
+
+TEST(ExploreCap, AboveTreeSizeIsExhausted) {
+  ScheduleExploreOptions opt;
+  opt.max_executions = 7;
+  auto res = explore_schedules(script_factory({2, 2}), opt);
+  EXPECT_EQ(res.executions, 6u);
+  EXPECT_TRUE(res.exhausted);
+}
+
+TEST(ExploreCap, ViolationExactlyAtCapIsReported) {
+  // Lex order of {0,0,1,1} schedules: 0011, 0101, 0110, 1001, 1010, 1100;
+  // 0110 is the 3rd execution.
+  const Schedule planted{0, 1, 1, 0};
+  ScheduleExploreOptions opt;
+  opt.max_executions = 3;
+  auto res = explore_schedules(script_factory({2, 2}, {planted}), opt);
+  ASSERT_TRUE(res.violation.has_value());
+  EXPECT_EQ(res.executions, 3u);
+  EXPECT_EQ(res.witness, planted);
+}
+
+TEST(ExploreCap, CapJustBeforeViolationTruncatesWithoutIt) {
+  const Schedule planted{0, 1, 1, 0};
+  ScheduleExploreOptions opt;
+  opt.max_executions = 2;
+  auto res = explore_schedules(script_factory({2, 2}, {planted}), opt);
+  EXPECT_FALSE(res.violation);
+  EXPECT_EQ(res.executions, 2u);
+  EXPECT_FALSE(res.exhausted);
+}
+
+// --- warm-world checkpoint pool: pure optimization, identical semantics ---
+
+TEST(ExploreCore, WarmWorldPoolSizeDoesNotChangeResults) {
+  const Schedule planted{1, 0, 0, 1, 0, 1, 1, 0};
+  for (std::size_t warm : {0u, 1u, 2u, 64u}) {
+    ScheduleExploreOptions opt;
+    opt.warm_worlds = warm;
+    auto res = explore_schedules(script_factory({3, 3, 2}), opt);
+    EXPECT_EQ(res.executions, 560u) << warm;  // 8! / (3!3!2!)
+    EXPECT_TRUE(res.exhausted) << warm;
+
+    auto viol = explore_schedules(script_factory({4, 4}, {planted}), opt);
+    ASSERT_TRUE(viol.violation.has_value()) << warm;
+    EXPECT_EQ(viol.witness, planted) << warm;
+    // Rank of 10010110 among {0,1}-sequences with four of each, plus one.
+    auto base = explore_schedules(script_factory({4, 4}, {planted}));
+    EXPECT_EQ(viol.executions, base.executions) << warm;
+  }
+}
+
+TEST(ExploreCore, RecordTracesDoesNotChangeResults) {
+  for (bool record : {false, true}) {
+    ScheduleExploreOptions opt;
+    opt.record_traces = record;
+    auto res = explore_schedules(script_factory({3, 3, 2}), opt);
+    EXPECT_EQ(res.executions, 560u) << record;
+    EXPECT_TRUE(res.exhausted) << record;
+  }
+}
+
+// --- scheduler fast mode: step-for-step identical executions ---
+
+Task<void> aug_mixed(AugmentedSnapshot& m, ProcessId me) {
+  std::vector<std::size_t> comps{0};
+  std::vector<Val> vals{Val(10 * (me + 1))};
+  co_await m.BlockUpdate(me, comps, vals);
+  co_await m.Scan(me);
+}
+
+TEST(FastMode, StepForStepIdenticalExecutions) {
+  // The same fixed schedule, traced and untraced: identical step counts,
+  // identical linearizer verdict, identical object census; only the trace
+  // differs (recorded vs empty).
+  auto run = [](bool record) {
+    Scheduler sched;
+    sched.set_recording(record);
+    AugmentedSnapshot m(sched, "M", 2, 2);
+    sched.spawn(aug_mixed(m, 0), "q1");
+    sched.spawn(aug_mixed(m, 1), "q2");
+    std::vector<ProcessId> schedule{0, 1, 0, 1, 1, 0, 0, 1, 1, 0};
+    for (ProcessId pid : schedule) {
+      if (!sched.is_done(pid)) {
+        sched.run_step(pid);
+      }
+    }
+    while (!sched.all_done()) {
+      auto r = sched.runnable();
+      sched.run_step(r.front());
+    }
+    auto lin = aug::linearize(m.log(), 2);
+    return std::tuple{sched.total_steps(), sched.steps_taken(0),
+                      sched.steps_taken(1), sched.object_count(),
+                      sched.trace().size(), lin.ok()};
+  };
+  auto [steps_t, q1_t, q2_t, objs_t, trace_t, ok_t] = run(true);
+  auto [steps_f, q1_f, q2_f, objs_f, trace_f, ok_f] = run(false);
+  EXPECT_EQ(steps_t, steps_f);
+  EXPECT_EQ(q1_t, q1_f);
+  EXPECT_EQ(q2_t, q2_f);
+  EXPECT_EQ(objs_t, objs_f);
+  EXPECT_TRUE(ok_t);
+  EXPECT_TRUE(ok_f);
+  EXPECT_EQ(trace_t, steps_t);  // traced mode records every step
+  EXPECT_EQ(trace_f, 0u);       // fast mode records nothing
+}
+
+TEST(FastMode, RunnableIntoMatchesRunnable) {
+  ScriptWorld world({2, 1, 2}, {});
+  std::vector<ProcessId> buf{99, 99};  // stale contents must be cleared
+  world.scheduler().runnable_into(buf);
+  EXPECT_EQ(buf, world.scheduler().runnable());
+  world.scheduler().run_step(0);
+  world.scheduler().runnable_into(buf);
+  EXPECT_EQ(buf, world.scheduler().runnable());
+}
+
+// --- parallel explorer: bit-identical results for any thread count ---
+
+TEST(ParallelExplore, DeterministicAcrossThreadsAndFrontiers) {
+  auto serial = explore_schedules(script_factory({3, 3, 2}));
+  EXPECT_EQ(serial.executions, 560u);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (std::size_t frontier : {0u, 1u, 3u, 6u}) {
+      ParallelExploreOptions opt;
+      opt.threads = threads;
+      opt.frontier_depth = frontier;
+      auto res = parallel_explore_schedules(script_factory({3, 3, 2}), opt);
+      expect_same(res, serial,
+                  "threads=" + std::to_string(threads) +
+                      " frontier=" + std::to_string(frontier));
+    }
+  }
+}
+
+TEST(ParallelExplore, LexicographicallySmallestWitness) {
+  // Two planted violations; every configuration must report the smaller.
+  const Schedule small{0, 1, 1, 0};
+  const Schedule large{1, 0, 0, 1};
+  auto factory = script_factory({2, 2}, {large, small});
+  auto serial = explore_schedules(factory);
+  ASSERT_TRUE(serial.violation.has_value());
+  EXPECT_EQ(serial.witness, small);
+  EXPECT_EQ(serial.executions, 3u);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ParallelExploreOptions opt;
+    opt.threads = threads;
+    opt.frontier_depth = 2;
+    auto res = parallel_explore_schedules(factory, opt);
+    expect_same(res, serial, "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelExplore, CapAccountingMatchesSerial) {
+  for (std::size_t cap : {1u, 99u, 559u, 560u, 561u}) {
+    ScheduleExploreOptions base;
+    base.max_executions = cap;
+    auto serial = explore_schedules(script_factory({3, 3, 2}), base);
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      ParallelExploreOptions opt;
+      opt.base = base;
+      opt.threads = threads;
+      opt.frontier_depth = 3;
+      auto res = parallel_explore_schedules(script_factory({3, 3, 2}), opt);
+      expect_same(res, serial,
+                  "cap=" + std::to_string(cap) +
+                      " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelExplore, ViolationAboveFrontierDepth) {
+  // With a frontier deeper than the whole tree, every leaf is judged during
+  // the serial generation walk; results must still match.
+  const Schedule planted{0, 1, 1, 0};
+  auto factory = script_factory({2, 2}, {planted});
+  auto serial = explore_schedules(factory);
+  ParallelExploreOptions opt;
+  opt.threads = 4;
+  opt.frontier_depth = 32;
+  auto res = parallel_explore_schedules(factory, opt);
+  expect_same(res, serial, "deep frontier");
+}
+
+TEST(ParallelExplore, ViolationExactlyAtCapAcrossThreads) {
+  const Schedule planted{0, 1, 1, 0};
+  ScheduleExploreOptions base;
+  base.max_executions = 3;
+  auto factory = script_factory({2, 2}, {planted});
+  auto serial = explore_schedules(factory, base);
+  ASSERT_TRUE(serial.violation.has_value());
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ParallelExploreOptions opt;
+    opt.base = base;
+    opt.threads = threads;
+    opt.frontier_depth = 2;
+    auto res = parallel_explore_schedules(factory, opt);
+    expect_same(res, serial, "threads=" + std::to_string(threads));
+  }
+}
+
+}  // namespace
+}  // namespace revisim

@@ -7,6 +7,7 @@
 
 #include "src/augmented/augmented_snapshot.h"
 #include "src/check/model_check.h"
+#include "src/check/parallel_explore.h"
 #include "src/protocols/racing_agreement.h"
 #include "src/protocols/sim_process.h"
 #include "src/runtime/adversary.h"
@@ -196,6 +197,31 @@ TEST(Robustness, ExhaustiveTinySimulationWithDirectSimulator) {
   EXPECT_TRUE(res.exhausted);
   EXPECT_FALSE(res.violation) << *res.violation;
   EXPECT_GE(res.executions, 100u);
+}
+
+TEST(Robustness, ParallelParityOnTinySimulations) {
+  // Whole-simulation worlds (driver + simulators + validator verdicts) under
+  // the parallel explorer: results must match the serial sweep bit-for-bit
+  // for every thread count.
+  for (std::size_t d : {0u, 1u}) {
+    check::ScheduleExploreOptions base;
+    base.max_steps = d == 0 ? 64 : 160;
+    base.max_executions = 400'000;
+    auto factory = [d] { return std::make_unique<TinySimWorld>(d); };
+    auto serial = check::explore_schedules(factory, base);
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      check::ParallelExploreOptions opt;
+      opt.base = base;
+      opt.threads = threads;
+      auto par = check::parallel_explore_schedules(factory, opt);
+      const auto what =
+          "d=" + std::to_string(d) + " threads=" + std::to_string(threads);
+      EXPECT_EQ(par.executions, serial.executions) << what;
+      EXPECT_EQ(par.exhausted, serial.exhausted) << what;
+      EXPECT_EQ(par.violation, serial.violation) << what;
+      EXPECT_EQ(par.witness, serial.witness) << what;
+    }
+  }
 }
 
 }  // namespace
