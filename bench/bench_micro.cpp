@@ -6,6 +6,7 @@
 
 #include "src/augmented/augmented_snapshot.h"
 #include "src/augmented/linearizer.h"
+#include "src/memory/register.h"
 #include "src/protocols/ca_consensus.h"
 #include "src/protocols/protocol_runner.h"
 #include "src/protocols/racing_agreement.h"
@@ -46,6 +47,73 @@ void BM_AugmentedBlockUpdates(benchmark::State& state) {
                           ops);
 }
 BENCHMARK(BM_AugmentedBlockUpdates)->Arg(1)->Arg(2)->Arg(4);
+
+Task<void> reg_loop(mem::TypedRegister<Val>& reg, std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) {
+    co_await reg.write(static_cast<Val>(i));
+  }
+}
+
+void BM_SchedulerStep(benchmark::State& state) {
+  // One process, many single-register writes in fast mode: isolates the
+  // per-step post_step + StepAwaiter dispatch, the inner loop of explorer
+  // replay.  The scheduler/register construction amortizes over k steps.
+  const std::size_t k = 512;
+  for (auto _ : state) {
+    Scheduler sched;
+    sched.set_recording(false);
+    mem::TypedRegister<Val> reg(sched, "r", Val{0});
+    sched.spawn(reg_loop(reg, k), "q");
+    while (!sched.all_done()) {
+      sched.run_step(0);
+    }
+    benchmark::DoNotOptimize(sched.total_steps());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_SchedulerStep);
+
+void BM_ToStringView(benchmark::State& state) {
+  View view(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    if (j % 3 != 0) {
+      view[j] = static_cast<Val>(j * 1234567);
+    }
+  }
+  for (auto _ : state) {
+    auto s = to_string(view);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ToStringView)->Arg(4)->Arg(32);
+
+Task<void> fat_loop(Scheduler& sched, std::size_t obj, std::size_t k) {
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  for (std::size_t i = 0; i < k; ++i) {
+    co_await runtime::StepAwaiter<void>(
+        sched, [a, b, c, d] { benchmark::DoNotOptimize(a + b + c + d); }, obj,
+        runtime::StepKind::kWrite, {});
+  }
+}
+
+void BM_SchedulerStepFatCapture(benchmark::State& state) {
+  // A 32-byte step capture - the size class of real snapshot operations -
+  // exceeds std::function's inline buffer but not SmallFn's.
+  const std::size_t k = 512;
+  for (auto _ : state) {
+    Scheduler sched;
+    sched.set_recording(false);
+    const std::size_t obj = sched.register_object("r");
+    sched.spawn(fat_loop(sched, obj, k), "q");
+    while (!sched.all_done()) {
+      sched.run_step(0);
+    }
+    benchmark::DoNotOptimize(sched.total_steps());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_SchedulerStepFatCapture);
 
 void BM_Linearize(benchmark::State& state) {
   const std::size_t f = 3;

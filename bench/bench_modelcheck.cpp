@@ -6,13 +6,23 @@
 // explorer returns the same (executions, exhausted, violation, witness)
 // for every thread count while scaling with available cores.
 //
-// Two instances:
+// Three instances:
 //   register-script (5,5,4) - three processes doing 5/5/4 register writes;
 //     multinomial(14;5,5,4) = 252,252 executions of depth 14 with a trivial
 //     verdict, isolating scheduler + replay cost.
+//   collect-writers (4,4,3) - writers-only traffic on the tagged-collect
+//     snapshot: real Fingerprintable shared objects whose canonical state
+//     collapses to the per-process progress tuple.
 //   augmented 3-proc        - the §3 augmented snapshot under a 3-process
 //     mixed script with full linearization verdicts, capped at 30,000
 //     executions: the realistic verdict-heavy workload.
+//
+// Each instance additionally runs with dedupe_states on (serial and
+// parallel): transposition pruning must preserve the violation verdict
+// while executions shrink to the number of distinct subtrees - a
+// combinatorial reduction on the script/collect worlds, and honestly ~1x on
+// the augmented world, whose operation log (global step indices) makes
+// states essentially unique.
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -27,6 +37,7 @@
 #include "src/augmented/linearizer.h"
 #include "src/check/model_check.h"
 #include "src/check/parallel_explore.h"
+#include "src/memory/collect_snapshot.h"
 #include "src/runtime/scheduler.h"
 
 namespace {
@@ -64,6 +75,46 @@ class ScriptWorld final : public ExplorableWorld {
 
  private:
   Scheduler sched_;
+};
+
+Task<void> upd_script(mem::CollectSnapshot& snap, ProcessId me,
+                      std::size_t updates) {
+  for (std::size_t i = 0; i < updates; ++i) {
+    co_await snap.update(me, me, Val(100 * (me + 1) + i));
+  }
+}
+
+// Writers-only tagged-collect traffic: every shared object is a registered
+// state source, and the canonical state is a function of the per-process
+// progress tuple, so transpositions merge aggressively.  The verdict reads
+// only shared contents (sound for dedupe with no fingerprint_extra).
+class CollectWorld final : public ExplorableWorld {
+ public:
+  explicit CollectWorld(std::vector<std::size_t> writes)
+      : writes_(std::move(writes)),
+        snap_(sched_, "S", writes_.size(), writes_.size()) {
+    for (std::size_t p = 0; p < writes_.size(); ++p) {
+      sched_.spawn(upd_script(snap_, p, writes_[p]), "u");
+    }
+  }
+  Scheduler& scheduler() override { return sched_; }
+  std::optional<std::string> verdict(bool complete) override {
+    if (!complete) {
+      return std::nullopt;
+    }
+    for (std::size_t p = 0; p < writes_.size(); ++p) {
+      const Val want = Val(100 * (p + 1) + writes_[p] - 1);
+      if (snap_.peek(p) != want) {
+        return "component " + std::to_string(p) + " lost its last update";
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  Scheduler sched_;
+  std::vector<std::size_t> writes_;
+  mem::CollectSnapshot snap_;
 };
 
 Task<void> bu_script(AugmentedSnapshot& m, ProcessId me, std::size_t j,
@@ -139,7 +190,7 @@ bool run_instance(const std::string& name,
   fast.max_executions = max_executions;
 
   std::printf("\n  instance %s\n", name.c_str());
-  std::printf("  %-14s %10s %9s %12s %8s\n", "config", "execs", "sec",
+  std::printf("  %-16s %10s %9s %12s %8s\n", "config", "execs", "sec",
               "execs/sec", "speedup");
 
   const auto baseline = timed([&] { return explore_schedules(make, traced); });
@@ -147,34 +198,63 @@ bool run_instance(const std::string& name,
 
   bool ok = true;
   auto row = [&](const std::string& config, const Measured& m,
-                 std::size_t threads) {
+                 std::size_t threads, bool dedupe) {
     const double rate = m.result.executions / std::max(m.seconds, 1e-9);
     const double speedup = baseline.seconds / std::max(m.seconds, 1e-9);
-    std::printf("  %-14s %10zu %9.3f %12.0f %7.2fx\n", config.c_str(),
+    const double reduction =
+        static_cast<double>(baseline.result.executions) /
+        std::max<std::size_t>(m.result.executions, 1);
+    std::printf("  %-16s %10zu %9.3f %12.0f %7.2fx\n", config.c_str(),
                 m.result.executions, m.seconds, rate, speedup);
+    // Dedupe changes counts by design; what must carry over is the
+    // violation-found / violation-free verdict.  Undeduped configurations
+    // stay bit-identical.
     const bool identical = same(m.result, baseline.result);
-    ok = ok && identical;
+    const bool parity =
+        m.result.violation.has_value() == baseline.result.violation.has_value();
+    ok = ok && (dedupe ? parity : identical);
     benchutil::json_line(
         "BENCH_modelcheck.json", "modelcheck-scaling",
         {{"instance", name},
          {"config", config},
          {"threads", threads},
+         {"dedupe", dedupe},
          {"executions", m.result.executions},
          {"exhausted", m.result.exhausted},
+         {"states_seen", m.result.states_seen},
+         {"subtrees_pruned", m.result.subtrees_pruned},
+         {"reduction_vs_undeduped", reduction},
          {"seconds", m.seconds},
          {"execs_per_sec", rate},
          {"speedup_vs_traced", speedup},
+         {"verdict_parity", parity},
          {"identical_to_baseline", identical}});
   };
-  row("serial-traced", baseline, 1);
-  row("serial-fast", serial_fast, 1);
+  row("serial-traced", baseline, 1, false);
+  row("serial-fast", serial_fast, 1, false);
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     check::ParallelExploreOptions popt;
     popt.base = fast;
     popt.threads = threads;
     const auto par =
         timed([&] { return check::parallel_explore_schedules(make, popt); });
-    row("parallel-" + std::to_string(threads), par, threads);
+    row("parallel-" + std::to_string(threads), par, threads, false);
+  }
+
+  // Transposition pruning on: executions legitimately shrink to the number
+  // of distinct subtrees.
+  ScheduleExploreOptions dedupe = fast;
+  dedupe.dedupe_states = true;
+  const auto serial_dedupe =
+      timed([&] { return explore_schedules(make, dedupe); });
+  row("serial-dedupe", serial_dedupe, 1, true);
+  for (std::size_t threads : {2u, 4u}) {
+    check::ParallelExploreOptions popt;
+    popt.base = dedupe;
+    popt.threads = threads;
+    const auto par =
+        timed([&] { return check::parallel_explore_schedules(make, popt); });
+    row("parallel-dedupe-" + std::to_string(threads), par, threads, true);
   }
   return ok;
 }
@@ -198,9 +278,17 @@ int main() {
       },
       500'000);
   ok &= run_instance(
+      "collect-writers-443",
+      [] {
+        return std::make_unique<CollectWorld>(
+            std::vector<std::size_t>{4, 4, 3});
+      },
+      500'000);
+  ok &= run_instance(
       "augmented-3proc", [] { return std::make_unique<AugWorld>(); }, 30'000);
 
-  benchutil::verdict(
-      ok, "all explorer configurations returned bit-identical results");
+  benchutil::verdict(ok,
+                     "undeduped configurations bit-identical; dedupe "
+                     "configurations verdict-preserving");
   return ok ? 0 : 1;
 }

@@ -141,7 +141,8 @@ struct AugmentedAblation {
 };
 
 template <typename HProvider>
-class BasicAugmentedSnapshot final : public IAugmentedSnapshot {
+class BasicAugmentedSnapshot final : public IAugmentedSnapshot,
+                                     public util::Fingerprintable {
  public:
   // m components of M shared by f real processes.
   BasicAugmentedSnapshot(runtime::Scheduler& sched, std::string name,
@@ -156,6 +157,17 @@ class BasicAugmentedSnapshot final : public IAugmentedSnapshot {
     if (m == 0 || f == 0) {
       throw std::invalid_argument("augmented snapshot needs m >= 1, f >= 1");
     }
+    sched.register_state_source(this);
+  }
+
+  // H itself is covered by the provider's own registration; this adds the
+  // object's history - the local own-component mirrors and the operation
+  // log the §3.3 linearizer consumes.  Including the log makes fingerprints
+  // of history-dependent verdicts sound: two interleavings merge only when
+  // their entire recorded histories coincide.
+  void fingerprint_into(util::StateSink& sink) const override {
+    util::feed(sink, own_);
+    util::feed(sink, log_);
   }
 
   [[nodiscard]] std::size_t components() const noexcept override {

@@ -13,6 +13,7 @@
 
 #include "src/augmented/timestamp.h"
 #include "src/runtime/trace.h"
+#include "src/util/fingerprint.h"
 #include "src/util/value.h"
 
 namespace revisim::aug {
@@ -26,6 +27,15 @@ struct ScanOpRecord {
   std::size_t last_step = kNoStep;   // confirming H.scan: the linearization point
   View returned;
   bool completed = false;
+
+  void fingerprint_into(util::StateSink& sink) const {
+    util::feed(sink, op_id);
+    util::feed(sink, process);
+    util::feed(sink, first_step);
+    util::feed(sink, last_step);
+    util::feed(sink, returned);
+    util::feed(sink, completed);
+  }
 };
 
 struct BlockUpdateOpRecord {
@@ -43,12 +53,39 @@ struct BlockUpdateOpRecord {
   bool yielded = false;             // returned the yield symbol
   bool completed = false;
   View returned;  // view returned when atomic (completed && !yielded)
+
+  void fingerprint_into(util::StateSink& sink) const {
+    util::feed(sink, op_id);
+    util::feed(sink, process);
+    util::feed(sink, comps);
+    util::feed(sink, vals);
+    util::feed(sink, ts);
+    util::feed(sink, step_h);
+    util::feed(sink, step_x);
+    util::feed(sink, step_g);
+    util::feed(sink, step_help);
+    util::feed(sink, step_h2);
+    util::feed(sink, step_read);
+    util::feed(sink, yielded);
+    util::feed(sink, completed);
+    util::feed(sink, returned);
+  }
 };
 
 struct OpLog {
   std::vector<ScanOpRecord> scans;
   std::vector<BlockUpdateOpRecord> block_updates;
   std::size_t next_op_id = 0;
+
+  // The log is verdict input (the §3.3 linearizer consumes it), so it is
+  // part of the canonical state wherever an explorer verdict reads it.
+  // Step indices are included: two interleavings whose logs cite different
+  // global steps can linearize differently, so they must not be merged.
+  void fingerprint_into(util::StateSink& sink) const {
+    util::feed(sink, scans);
+    util::feed(sink, block_updates);
+    util::feed(sink, next_op_id);
+  }
 
   [[nodiscard]] const BlockUpdateOpRecord* find_block_update(
       std::size_t op_id) const {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/augmented/timestamp.h"
+#include "src/util/fingerprint.h"
 #include "src/util/value.h"
 
 namespace revisim::aug {
@@ -33,6 +34,12 @@ struct UpdateTriple {
   Timestamp ts;
 
   friend bool operator==(const UpdateTriple&, const UpdateTriple&) = default;
+
+  void fingerprint_into(util::StateSink& sink) const {
+    util::feed(sink, component);
+    util::feed(sink, value);
+    util::feed(sink, ts);
+  }
 };
 
 struct HComp;
@@ -44,6 +51,8 @@ struct LRecord {
   std::size_t target = 0;  // j: the process being helped (0-based)
   std::size_t index = 0;   // b: which of its Block-Updates
   std::shared_ptr<const HView> h;  // scan result being published
+
+  inline void fingerprint_into(util::StateSink& sink) const;
 };
 
 struct HComp {
@@ -51,7 +60,26 @@ struct HComp {
   std::size_t num_bu = 0;  // #h_i: number of Block-Updates recorded (distinct
                            // timestamps in `triples`)
   std::vector<LRecord> lrecords;
+
+  // Full contents, helping records included: a published scan result is
+  // readable by later Block-Updates (read_lrecord), so it is part of the
+  // canonical state.  The recursion through the embedded HView is finite
+  // (views are snapshots of strictly earlier H contents).
+  void fingerprint_into(util::StateSink& sink) const {
+    util::feed(sink, triples);
+    util::feed(sink, num_bu);
+    util::feed(sink, lrecords);
+  }
 };
+
+inline void LRecord::fingerprint_into(util::StateSink& sink) const {
+  util::feed(sink, target);
+  util::feed(sink, index);
+  sink.word(h != nullptr ? 1 : 0);
+  if (h != nullptr) {
+    util::feed(sink, *h);
+  }
+}
 
 // #h_j of the paper.
 inline std::size_t num_bu(const HView& h, std::size_t j) {

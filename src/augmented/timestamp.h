@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/fingerprint.h"
+
 namespace revisim::aug {
 
 class Timestamp {
@@ -35,6 +37,10 @@ class Timestamp {
   friend bool operator==(const Timestamp&, const Timestamp&) = default;
 
   [[nodiscard]] std::string to_string() const;
+
+  void fingerprint_into(util::StateSink& sink) const {
+    util::feed(sink, parts_);
+  }
 
  private:
   std::vector<std::uint32_t> parts_;

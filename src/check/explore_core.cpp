@@ -1,7 +1,10 @@
 #include "src/check/explore_core.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
+
+#include "src/check/state_table.h"
 
 namespace revisim::check::detail {
 namespace {
@@ -26,6 +29,18 @@ SubtreeResult explore_subtree(
     const SubtreeOptions& options, const AbortProbe& abort) {
   SubtreeResult res;
   const std::size_t cap = std::max<std::size_t>(options.max_executions, 1);
+
+  // Transposition table: shared when the caller supplies one (the parallel
+  // explorer), private otherwise.
+  std::optional<StateTable> own_table;
+  StateTable* table = nullptr;
+  if (options.dedupe_states) {
+    table = options.table;
+    if (table == nullptr) {
+      own_table.emplace(StateTable::Options{.audit = options.dedupe_audit});
+      table = &*own_table;
+    }
+  }
 
   std::vector<runtime::ProcessId> schedule = prefix;
   schedule.reserve(std::max(options.max_steps, prefix.size()));
@@ -67,17 +82,42 @@ SubtreeResult explore_subtree(
   };
 
   auto world = world_at(prefix.size());
+
+  // Canonical-state callback for collision audit; captures the live world by
+  // reference so one std::function serves every node of the walk.  Invoked
+  // by the table only in audit mode.
+  std::function<std::string()> canonical;
+  if (table != nullptr && table->audit()) {
+    canonical = [&world] { return world->canonical_state(); };
+  }
+
   std::vector<runtime::ProcessId> runnable;
   for (;;) {
+    // Consult the transposition table at every node strictly deeper than the
+    // prefix root.  A hit means an identical canonical state already rooted
+    // a walk (here or, with a shared table, in another worker): its subtree
+    // - executions, verdicts and all - is a replay of that one, so it is
+    // skipped without counting an execution or evaluating a verdict.
+    bool pruned = false;
+    if (table != nullptr && schedule.size() > prefix.size()) {
+      pruned = !table->insert(world->fingerprint(), canonical);
+    }
     world->scheduler().runnable_into(runnable);
     const bool complete = runnable.empty();
-    if (complete || schedule.size() >= options.max_steps) {
-      ++res.executions;
-      if (auto v = world->verdict(complete)) {
-        res.violation = std::move(v);
-        res.witness = schedule;
-        res.violation_index = res.executions;
-        return res;
+    if (pruned || complete || schedule.size() >= options.max_steps) {
+      if (pruned) {
+        ++res.subtrees_pruned;
+      } else {
+        ++res.executions;
+        if (auto v = world->verdict(complete)) {
+          res.violation = std::move(v);
+          res.witness = schedule;
+          res.violation_index = res.executions;
+          if (table != nullptr) {
+            res.states_seen = table->states();
+          }
+          return res;
+        }
       }
       // Backtrack to the deepest frame with an untried choice.  The order
       // matters for cap accounting: a walk that ends exactly at the cap with
@@ -87,10 +127,16 @@ SubtreeResult explore_subtree(
         schedule.pop_back();
       }
       if (depth == 0) {
+        if (table != nullptr) {
+          res.states_seen = table->states();
+        }
         return res;
       }
       if (res.executions >= cap || (abort && abort())) {
         res.fully_explored = false;
+        if (table != nullptr) {
+          res.states_seen = table->states();
+        }
         return res;
       }
       Frame& f = stack[depth - 1];

@@ -25,6 +25,10 @@
 
 #include "src/check/model_check.h"
 
+namespace revisim::check {
+class StateTable;
+}  // namespace revisim::check
+
 namespace revisim::check::detail {
 
 struct SubtreeOptions {
@@ -32,6 +36,22 @@ struct SubtreeOptions {
   std::size_t max_executions = 500'000;  // execution cap (values < 1 act as 1)
   bool record_traces = false;            // leave Scheduler fast mode off?
   std::size_t warm_worlds = 8;           // checkpoint pool capacity (0 = off)
+  // Transposition pruning: consult a visited-state table at every node
+  // strictly deeper than the prefix root and skip subtrees rooted at states
+  // already seen.  Verdict-preserving by construction (equal states generate
+  // identical subtrees), but `executions` and the reported witness may
+  // legitimately differ from an undeduped walk - a violation first reached
+  // through a pruned transposition is reported through the schedule that
+  // visited its state first.  The prefix root itself is never consulted:
+  // the parallel explorer's generation walk inserts job-root states, so a
+  // root check would make every job prune itself.
+  bool dedupe_states = false;
+  // Retain full canonical states and fail loudly on a 128-bit collision
+  // (only read when this call creates its own table, i.e. `table == null`).
+  bool dedupe_audit = false;
+  // Shared table (parallel explorer).  Null with dedupe_states set means
+  // the walk creates a private table for its own lifetime.
+  StateTable* table = nullptr;
 };
 
 struct SubtreeResult {
@@ -43,6 +63,10 @@ struct SubtreeResult {
   std::optional<std::string> violation;      // first violation in lex order
   std::vector<runtime::ProcessId> witness;   // its full schedule (with prefix)
   std::size_t violation_index = 0;           // 1-based execution count at it
+  std::size_t subtrees_pruned = 0;           // transposition hits in this walk
+  // Distinct states in the consulted table when the walk ended (a global
+  // snapshot if the table was shared; 0 with dedupe off).
+  std::size_t states_seen = 0;
 };
 
 // Polled between executions; returning true abandons the walk (the caller

@@ -1,5 +1,6 @@
 #include "src/check/lincheck.h"
 
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>

@@ -12,6 +12,8 @@ ScheduleExploreResult explore_schedules(
   sub.max_executions = options.max_executions;
   sub.record_traces = options.record_traces;
   sub.warm_worlds = options.warm_worlds;
+  sub.dedupe_states = options.dedupe_states;
+  sub.dedupe_audit = options.dedupe_audit;
   auto sr = detail::explore_subtree(factory, {}, sub);
 
   ScheduleExploreResult res;
@@ -19,6 +21,8 @@ ScheduleExploreResult explore_schedules(
   res.exhausted = sr.fully_explored;
   res.violation = std::move(sr.violation);
   res.witness = std::move(sr.witness);
+  res.states_seen = sr.states_seen;
+  res.subtrees_pruned = sr.subtrees_pruned;
   return res;
 }
 

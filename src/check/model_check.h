@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/runtime/scheduler.h"
+#include "src/util/fingerprint.h"
 
 namespace revisim::check {
 
@@ -31,6 +32,37 @@ class ExplorableWorld {
   virtual ~ExplorableWorld() = default;
   virtual runtime::Scheduler& scheduler() = 0;
   virtual std::optional<std::string> verdict(bool complete) = 0;
+
+  // --- transposition-pruning hooks (dedupe_states) -----------------------
+  //
+  // fingerprint() keys the explorer's visited-state table: a 128-bit hash
+  // of the canonical global state - the scheduler's per-process control
+  // skeleton (done/poised flags, step counts, poised step kind + object)
+  // plus the contents of every registered shared object (register.h and the
+  // snapshot implementations self-register).  Soundness contract: equal
+  // fingerprints must imply identical residual subtrees.  Worlds whose
+  // verdict or behaviour depends on process-local state that is *not* a
+  // function of (own step count, shared contents) - a remembered earlier
+  // read, an accumulated log - must fold that state in via
+  // fingerprint_extra, or leave dedupe_states off.
+  virtual void fingerprint_extra(util::StateSink& sink) { (void)sink; }
+
+  virtual util::Fingerprint fingerprint() {
+    util::HashSink sink;
+    scheduler().state_digest(sink);
+    fingerprint_extra(sink);
+    return sink.digest();
+  }
+
+  // The same word stream rendered as text: the full canonical state, kept
+  // behind the hash in collision-audit mode.
+  virtual std::string canonical_state() {
+    std::string out;
+    util::TextSink sink(out);
+    scheduler().state_digest(sink);
+    fingerprint_extra(sink);
+    return out;
+  }
 };
 
 struct ScheduleExploreOptions {
@@ -45,6 +77,18 @@ struct ScheduleExploreOptions {
   // nodes of the current DFS path so a backtrack resumes from the nearest
   // retained prefix instead of rebuilding from scratch.  0 disables.
   std::size_t warm_worlds = 8;
+  // Transposition pruning: skip subtrees rooted at a canonical global state
+  // (ExplorableWorld::fingerprint) already visited.  Off by default.  The
+  // violation-found / violation-free verdict is preserved - equal states
+  // generate identical subtrees - but `executions` shrinks to the number of
+  // distinct subtrees walked and a violation may be reported through a
+  // different (the first-visited) witness schedule.  Requires the world to
+  // satisfy the fingerprint soundness contract (see ExplorableWorld).
+  bool dedupe_states = false;
+  // With dedupe_states: retain the full canonical state behind every
+  // fingerprint and throw StateFingerprintCollision if a 128-bit hash ever
+  // covers two distinct states.  Memory-hungry; for validation runs.
+  bool dedupe_audit = false;
 };
 
 struct ScheduleExploreResult {
@@ -55,6 +99,9 @@ struct ScheduleExploreResult {
   bool exhausted = true;
   std::optional<std::string> violation;
   std::vector<runtime::ProcessId> witness;  // schedule of the violation
+  // Transposition-table statistics (0 with dedupe_states off).
+  std::size_t states_seen = 0;       // distinct canonical states recorded
+  std::size_t subtrees_pruned = 0;   // subtrees skipped as already-seen
 
   [[nodiscard]] bool ok() const noexcept { return !violation; }
 };

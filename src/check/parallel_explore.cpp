@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "src/check/explore_core.h"
+#include "src/check/state_table.h"
 
 namespace revisim::check {
 namespace {
@@ -28,9 +30,16 @@ struct FrontierItem {
 // order - exactly the order the serial explorer would encounter them.
 // Generation stops at the first violating shallow leaf: no later item can
 // affect the merged result (the merge returns at or before it).
+//
+// With a transposition table, the walk inserts every node below the root
+// (the empty schedule is skipped: it roots the whole search and recurs
+// nowhere) and prunes already-seen states before emitting them - so every
+// job root is in the table before its job runs, and explore_subtree's
+// strictly-below-the-prefix rule is what keeps jobs from pruning themselves.
 std::vector<FrontierItem> generate_frontier(
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
-    std::size_t frontier, const ScheduleExploreOptions& options) {
+    std::size_t frontier, const ScheduleExploreOptions& options,
+    StateTable* table) {
   std::vector<FrontierItem> items;
   struct Frame {
     std::vector<ProcessId> choices;
@@ -51,23 +60,33 @@ std::vector<FrontierItem> generate_frontier(
   };
 
   auto world = make_world();
+  std::function<std::string()> canonical;
+  if (table != nullptr && table->audit()) {
+    canonical = [&world] { return world->canonical_state(); };
+  }
   std::vector<ProcessId> runnable;
   for (;;) {
+    bool pruned = false;
+    if (table != nullptr && !schedule.empty()) {
+      pruned = !table->insert(world->fingerprint(), canonical);
+    }
     world->scheduler().runnable_into(runnable);
     const bool complete = runnable.empty();
     const bool at_leaf = complete || schedule.size() >= options.max_steps;
-    if (at_leaf || schedule.size() >= frontier) {
-      FrontierItem item;
-      item.schedule = schedule;
-      if (at_leaf) {
-        item.leaf_violation = world->verdict(complete);
-      } else {
-        item.is_job = true;
-      }
-      const bool stop = item.leaf_violation.has_value();
-      items.push_back(std::move(item));
-      if (stop) {
-        return items;
+    if (pruned || at_leaf || schedule.size() >= frontier) {
+      if (!pruned) {
+        FrontierItem item;
+        item.schedule = schedule;
+        if (at_leaf) {
+          item.leaf_violation = world->verdict(complete);
+        } else {
+          item.is_job = true;
+        }
+        const bool stop = item.leaf_violation.has_value();
+        items.push_back(std::move(item));
+        if (stop) {
+          return items;
+        }
       }
       while (!stack.empty() &&
              stack.back().next >= stack.back().choices.size()) {
@@ -96,7 +115,14 @@ ScheduleExploreResult parallel_explore_schedules(
   const std::size_t frontier =
       std::min(options.frontier_depth, options.base.max_steps);
 
-  auto items = generate_frontier(factory, frontier, options.base);
+  // One transposition table shared by the generation walk and every worker.
+  std::unique_ptr<StateTable> table;
+  if (options.base.dedupe_states) {
+    table = std::make_unique<StateTable>(
+        StateTable::Options{.audit = options.base.dedupe_audit});
+  }
+
+  auto items = generate_frontier(factory, frontier, options.base, table.get());
 
   std::vector<std::size_t> job_items;  // item indices that are jobs
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -186,6 +212,8 @@ ScheduleExploreResult parallel_explore_schedules(
         sub.max_executions = cap > before ? cap - before : 1;
         sub.record_traces = options.base.record_traces;
         sub.warm_worlds = options.base.warm_worlds;
+        sub.dedupe_states = options.base.dedupe_states;
+        sub.table = table.get();
         auto abort = [&, item_idx] {
           return item_idx > first_violation.load(std::memory_order_relaxed) ||
                  bound_before(item_idx) >= cap;
@@ -227,8 +255,14 @@ ScheduleExploreResult parallel_explore_schedules(
 
   // Deterministic merge: replay the serial explorer's accounting over the
   // lexicographically ordered items.  Thread count and worker interleaving
-  // influenced only results the merge never reads.
+  // influenced only results the merge never reads (with dedupe off; with it
+  // on, the shared table makes counts interleaving-dependent - see the
+  // header).  Table statistics are global and attach to every return path.
   ScheduleExploreResult res;
+  if (table) {
+    res.states_seen = table->states();
+    res.subtrees_pruned = table->hits();
+  }
   std::size_t cum = 0;
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (job_errors[i]) {

@@ -12,6 +12,18 @@
 //   * the reported witness is the lexicographically smallest violating
 //     schedule (identical to the serial explorer's DFS-first violation).
 //
+// With base.dedupe_states set, all workers share one transposition table
+// (sharded, striped locks) and the guarantee deliberately weakens: which
+// worker first inserts a shared state depends on interleaving, so
+// `executions`, `states_seen`, `subtrees_pruned` and the reported witness
+// may differ run to run and from the serial deduped explorer.  What is
+// preserved - the explorer's actual verdict - is the violation-found /
+// violation-free outcome on uncapped searches: every inserted state's
+// subtree is walked by its inserting worker (pruning elsewhere), and
+// workers only abandon subtrees once a violation is already secured.
+// Under a max_executions cap the deduped search is best-effort, as the
+// cap itself is schedule-count-dependent.
+//
 // The factory is invoked concurrently from worker threads and must be
 // thread-safe; worlds it returns must not share mutable state.  Every world
 // built by the seed's tests already satisfies this (each world owns its

@@ -1,0 +1,62 @@
+#include "src/check/state_table.h"
+
+namespace revisim::check {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+StateTable::StateTable() : StateTable(Options{}) {}
+
+StateTable::StateTable(Options options)
+    : shards_(round_up_pow2(options.shards == 0 ? 1 : options.shards)),
+      mask_(shards_.size() - 1),
+      audit_(options.audit) {}
+
+bool StateTable::insert(util::Fingerprint fp,
+                        const std::function<std::string()>& canonical) {
+  Shard& shard = shard_for(fp);
+  if (!audit_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.seen.insert(fp).second) {
+      return true;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Audit mode: serialize outside the lock (the canonical string depends
+  // only on the caller's world, not on the table).
+  std::string state = canonical ? canonical() : std::string{};
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // try_emplace leaves `state` intact when the key already exists.
+  auto [it, inserted] = shard.canon.try_emplace(fp, std::move(state));
+  if (inserted) {
+    return true;
+  }
+  if (canonical && it->second != state) {
+    throw StateFingerprintCollision(
+        "128-bit state fingerprint collision: two distinct canonical states "
+        "hash equal; pruning would be unsound (stored=\"" +
+        it->second.substr(0, 128) + "...\")");
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+std::size_t StateTable::states() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    total += audit_ ? shard.canon.size() : shard.seen.size();
+  }
+  return total;
+}
+
+}  // namespace revisim::check

@@ -1,0 +1,94 @@
+// Visited-state transposition table for the schedule explorer.
+//
+// Keys are 128-bit state fingerprints (src/util/fingerprint.h).  The table
+// is sharded with one striped lock per shard, so the parallel explorer's
+// workers share a single table with negligible contention; the serial
+// explorer uses the same type (uncontended mutexes are cheap next to a world
+// replay step).
+//
+// Collision-audit mode stores the full canonical state string behind every
+// fingerprint and fails loudly - by throwing StateFingerprintCollision - if
+// a 128-bit hash ever maps two distinct canonical states together.  A prune
+// taken on a colliding hash would silently skip a genuinely unexplored
+// subtree; audit mode converts that silent unsoundness into a hard error
+// (at the memory cost of retaining every canonical state).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/fingerprint.h"
+
+namespace revisim::check {
+
+class StateFingerprintCollision : public std::runtime_error {
+ public:
+  explicit StateFingerprintCollision(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class StateTable {
+ public:
+  struct Options {
+    bool audit = false;          // retain canonical states, detect collisions
+    std::size_t shards = 64;     // rounded up to a power of two, min 1
+  };
+
+  StateTable();
+  explicit StateTable(Options options);
+
+  StateTable(const StateTable&) = delete;
+  StateTable& operator=(const StateTable&) = delete;
+
+  // Records fp as visited.  Returns true iff fp was new (the caller owns the
+  // subtree walk); false means the state was already visited and the caller
+  // prunes.  `canonical` produces the full canonical state string; it is
+  // invoked only in audit mode (once on first insert, once per subsequent
+  // hit to cross-check), so non-audit runs never pay for serialization.
+  // Throws StateFingerprintCollision if audit finds two canonical states
+  // behind one fingerprint.
+  bool insert(util::Fingerprint fp,
+              const std::function<std::string()>& canonical = {});
+
+  [[nodiscard]] bool audit() const noexcept { return audit_; }
+
+  // Distinct states recorded (sums shard sizes under their locks).
+  [[nodiscard]] std::size_t states() const;
+
+  // Pruning hits: inserts that found the state already present.
+  [[nodiscard]] std::size_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FingerprintHash {
+    std::size_t operator()(const util::Fingerprint& fp) const noexcept {
+      return static_cast<std::size_t>(fp.lo ^ (fp.hi * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_set<util::Fingerprint, FingerprintHash> seen;
+    // Audit mode only: the canonical state behind each fingerprint.
+    std::unordered_map<util::Fingerprint, std::string, FingerprintHash> canon;
+  };
+
+  Shard& shard_for(util::Fingerprint fp) noexcept {
+    return shards_[fp.lo & mask_];
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t mask_ = 0;
+  bool audit_ = false;
+  std::atomic<std::size_t> hits_{0};
+};
+
+}  // namespace revisim::check

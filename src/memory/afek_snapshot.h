@@ -118,11 +118,22 @@ class AfekSnapshotT {
   }
 
  private:
+  // The cells live in TypedRegisters, which self-register as fingerprint
+  // sources; this member encoding is what they feed.  The snapshot object
+  // itself holds no other mutable state (scan/update locals live in
+  // coroutine frames, covered by the explorer's soundness contract).
   struct Cell {
     T value{};
     std::uint64_t seq = 0;
     std::vector<T> view;        // embedded scan published with this write
     std::size_t view_lin = 0;   // linearization step of that embedded scan
+
+    void fingerprint_into(util::StateSink& sink) const {
+      util::feed(sink, value);
+      util::feed(sink, seq);
+      util::feed(sink, view);
+      util::feed(sink, view_lin);
+    }
   };
 
   struct Collect {

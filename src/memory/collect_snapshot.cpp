@@ -10,6 +10,7 @@ CollectSnapshot::CollectSnapshot(runtime::Scheduler& sched, std::string name,
     cells_.push_back(std::make_unique<TypedRegister<Cell>>(
         sched, name + ".R" + std::to_string(j)));
   }
+  sched.register_state_source(this);  // covers next_seq_; cells cover values
 }
 
 runtime::Task<std::vector<CollectSnapshot::Cell>> CollectSnapshot::collect() {

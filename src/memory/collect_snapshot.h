@@ -17,16 +17,29 @@
 
 #include "src/memory/register.h"
 #include "src/runtime/task.h"
+#include "src/util/fingerprint.h"
 #include "src/util/value.h"
 
 namespace revisim::mem {
 
-class CollectSnapshot {
+class CollectSnapshot : public util::Fingerprintable {
  public:
   CollectSnapshot(runtime::Scheduler& sched, std::string name, std::size_t m,
                   std::size_t num_processes);
 
   [[nodiscard]] std::size_t components() const noexcept { return cells_.size(); }
+
+  // The register cells self-register as state sources; this covers the
+  // object's only other behaviour-relevant state, the per-process local
+  // sequence counters the unique tags are minted from.
+  void fingerprint_into(util::StateSink& sink) const override {
+    util::feed(sink, next_seq_);
+  }
+
+  // Test/debug peek at component j's current value, outside any execution.
+  [[nodiscard]] std::optional<Val> peek(std::size_t j) const {
+    return cells_.at(j)->peek().value;
+  }
 
   // Obstruction-free linearizable scan (double collect until clean).
   runtime::Task<View> scan();
@@ -38,6 +51,11 @@ class CollectSnapshot {
   struct Cell {
     std::uint64_t tag = 0;  // 0 = never written; else (seq << 16) | writer+1
     std::optional<Val> value;
+
+    void fingerprint_into(util::StateSink& sink) const {
+      util::feed(sink, tag);
+      util::feed(sink, value);
+    }
   };
 
   runtime::Task<std::vector<Cell>> collect();

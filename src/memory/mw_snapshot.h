@@ -10,18 +10,25 @@
 #include <string>
 
 #include "src/runtime/scheduler.h"
+#include "src/util/fingerprint.h"
 #include "src/util/value.h"
 
 namespace revisim::mem {
 
-class MWSnapshot {
+class MWSnapshot : public util::Fingerprintable {
  public:
   MWSnapshot(runtime::Scheduler& sched, std::string name, std::size_t m)
       : sched_(sched),
         id_(sched.register_object(std::move(name))),
-        comps_(m) {}
+        comps_(m) {
+    sched.register_state_source(this);
+  }
 
   [[nodiscard]] std::size_t components() const noexcept { return comps_.size(); }
+
+  void fingerprint_into(util::StateSink& sink) const override {
+    util::feed(sink, comps_);
+  }
 
   runtime::StepAwaiter<View> scan() {
     return {sched_, [this] { return comps_; }, id_, runtime::StepKind::kScan,

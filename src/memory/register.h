@@ -9,17 +9,26 @@
 #include <string>
 
 #include "src/runtime/scheduler.h"
+#include "src/util/fingerprint.h"
 #include "src/util/value.h"
 
 namespace revisim::mem {
 
 template <typename T>
-class TypedRegister {
+class TypedRegister : public util::Fingerprintable {
  public:
   TypedRegister(runtime::Scheduler& sched, std::string name, T initial = {})
       : sched_(sched),
         id_(sched.register_object(std::move(name))),
-        value_(std::move(initial)) {}
+        value_(std::move(initial)) {
+    sched.register_state_source(this);
+  }
+
+  // The register's canonical state is its value (the object id and name are
+  // schema, fixed by the world factory's construction order).
+  void fingerprint_into(util::StateSink& sink) const override {
+    util::feed(sink, value_);
+  }
 
   // One atomic read step.
   runtime::StepAwaiter<T> read() {

@@ -12,18 +12,25 @@
 #include <vector>
 
 #include "src/runtime/scheduler.h"
+#include "src/util/fingerprint.h"
 
 namespace revisim::mem {
 
 template <typename T>
-class SWSnapshot {
+class SWSnapshot : public util::Fingerprintable {
  public:
   SWSnapshot(runtime::Scheduler& sched, std::string name, std::size_t f)
       : sched_(sched),
         id_(sched.register_object(std::move(name))),
-        comps_(f) {}
+        comps_(f) {
+    sched.register_state_source(this);
+  }
 
   [[nodiscard]] std::size_t components() const noexcept { return comps_.size(); }
+
+  void fingerprint_into(util::StateSink& sink) const override {
+    util::feed(sink, comps_);
+  }
 
   runtime::StepAwaiter<std::vector<T>> scan() {
     return {sched_, [this] { return comps_; }, id_, runtime::StepKind::kScan,

@@ -45,18 +45,36 @@ bool Scheduler::all_done() const {
   return true;
 }
 
-void Scheduler::post_step(std::coroutine_handle<> resumer,
-                          std::function<void()> exec, std::size_t object,
-                          StepKind kind, std::string detail) {
+void Scheduler::post_step(std::coroutine_handle<> resumer, StepExec exec,
+                          void* exec_ctx, std::size_t object, StepKind kind,
+                          std::string detail) {
   assert(in_step_ || !procs_[current_]->started);
   Process& p = *procs_[current_];
   assert(!p.poised);
   p.resumer = resumer;
-  p.exec = std::move(exec);
+  p.exec = exec;
+  p.exec_ctx = exec_ctx;
   p.step_object = object;
   p.step_kind = kind;
   p.step_detail = std::move(detail);
   p.poised = true;
+}
+
+void Scheduler::state_digest(util::StateSink& sink) const {
+  sink.word(procs_.size());
+  for (const auto& p : procs_) {
+    sink.word((p->started ? 1u : 0u) | (p->done ? 2u : 0u) |
+              (p->poised ? 4u : 0u));
+    sink.word(p->steps);
+    if (p->poised) {
+      sink.word(p->step_object);
+      sink.word(static_cast<std::uint64_t>(p->step_kind));
+    }
+  }
+  sink.word(state_sources_.size());
+  for (const util::Fingerprintable* source : state_sources_) {
+    source->fingerprint_into(sink);
+  }
 }
 
 void Scheduler::run_step(ProcessId pid) {
@@ -101,9 +119,10 @@ void Scheduler::execute_poised_step(Process& p, ProcessId pid) {
   }
   ++step_count_;
   ++p.steps;
-  p.exec();          // the atomic operation on the object
+  p.exec(p.exec_ctx);  // the atomic operation on the object
   auto resumer = p.resumer;
   p.exec = nullptr;
+  p.exec_ctx = nullptr;
   p.resumer = {};
   resumer.resume();  // local computation until next poised step / completion
   finish_if_done(p);

@@ -12,16 +12,18 @@
 
 #include <cassert>
 #include <coroutine>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "src/runtime/task.h"
 #include "src/runtime/trace.h"
+#include "src/util/fingerprint.h"
+#include "src/util/small_fn.h"
 
 namespace revisim::runtime {
 
@@ -104,11 +106,34 @@ class Scheduler {
     return object_names_.size();
   }
 
+  // --- state fingerprinting (transposition pruning, src/check) ----------
+  // Objects whose contents are behaviour-relevant shared state register
+  // themselves here during construction; a world factory therefore fixes
+  // the registration order, making digests of same-factory worlds
+  // comparable.  The pointer must outlive every state_digest call.
+  void register_state_source(const util::Fingerprintable* source) {
+    state_sources_.push_back(source);
+  }
+
+  // Feeds the canonical scheduler state to `sink`: the per-process control
+  // skeleton (started/done flags, step counts, poised step kind + object)
+  // followed by every registered source's contents.  Together with the
+  // determinism of executions this pins the residual behaviour of worlds
+  // whose process-local state is a function of (own steps taken, shared
+  // contents) - see src/util/fingerprint.h for the exact contract.
+  void state_digest(util::StateSink& sink) const;
+
   static constexpr std::size_t kDefaultMaxSteps = 1'000'000;
 
   // --- used by StepAwaiter (not by user code) ---
-  void post_step(std::coroutine_handle<> resumer, std::function<void()> exec,
-                 std::size_t object, StepKind kind, std::string detail);
+  // The poised operation is a raw trampoline into the awaiter object (which
+  // lives in the coroutine frame until the step is granted), so posting a
+  // step performs no allocation and no type erasure beyond one call through
+  // a function pointer.
+  using StepExec = void (*)(void*);
+  void post_step(std::coroutine_handle<> resumer, StepExec exec,
+                 void* exec_ctx, std::size_t object, StepKind kind,
+                 std::string detail);
 
  private:
   struct Process {
@@ -119,7 +144,8 @@ class Scheduler {
     std::size_t steps = 0;
     // Poised step, if any.
     std::coroutine_handle<> resumer;
-    std::function<void()> exec;
+    StepExec exec = nullptr;
+    void* exec_ctx = nullptr;
     std::size_t step_object = 0;
     StepKind step_kind = StepKind::kOther;
     std::string step_detail;
@@ -130,6 +156,7 @@ class Scheduler {
   void execute_poised_step(Process& p, ProcessId pid);
 
   std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<const util::Fingerprintable*> state_sources_;
   std::vector<std::string> object_names_;
   Trace trace_;
   std::size_t step_count_ = 0;  // == trace_.size() while recording
@@ -140,29 +167,27 @@ class Scheduler {
 
 // Awaitable representing one atomic base-object step.  `op` runs when the
 // scheduler grants the step; its return value is handed back to the process.
+// The operation is stored in a small-buffer callable and executed through a
+// trampoline into this awaiter (stable in the coroutine frame until the step
+// is granted), so posing and granting a step never touches the heap for
+// typical captures.
 template <typename R>
 class StepAwaiter {
  public:
-  StepAwaiter(Scheduler& sched, std::function<R()> op, std::size_t object,
-              StepKind kind, std::string detail)
+  template <typename F>
+    requires std::is_invocable_r_v<R, std::remove_cvref_t<F>&>
+  StepAwaiter(Scheduler& sched, F&& op, std::size_t object, StepKind kind,
+              std::string detail)
       : sched_(sched),
-        op_(std::move(op)),
+        op_(std::forward<F>(op)),
         object_(object),
         kind_(kind),
         detail_(std::move(detail)) {}
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    sched_.post_step(
-        h,
-        [this] {
-          if constexpr (std::is_void_v<R>) {
-            op_();
-          } else {
-            result_.emplace(op_());
-          }
-        },
-        object_, kind_, std::move(detail_));
+    sched_.post_step(h, &StepAwaiter::exec_trampoline, this, object_, kind_,
+                     std::move(detail_));
   }
   R await_resume() {
     if constexpr (!std::is_void_v<R>) {
@@ -171,9 +196,18 @@ class StepAwaiter {
   }
 
  private:
+  static void exec_trampoline(void* self) {
+    auto* awaiter = static_cast<StepAwaiter*>(self);
+    if constexpr (std::is_void_v<R>) {
+      awaiter->op_();
+    } else {
+      awaiter->result_.emplace(awaiter->op_());
+    }
+  }
+
   struct Empty {};
   Scheduler& sched_;
-  std::function<R()> op_;
+  util::SmallFn<R> op_;
   std::size_t object_;
   StepKind kind_;
   std::string detail_;

@@ -1,0 +1,146 @@
+// State fingerprinting for the schedule explorer's transposition table.
+//
+// Executions are deterministic functions of the schedule (src/runtime), so
+// two schedule prefixes that reach the same canonical global state generate
+// identical subtrees, and the explorer can prune the second - the classic
+// transposition argument of stateful model checking.  The canonical state is
+// serialized as a stream of 64-bit words through a StateSink:
+//
+//   * HashSink folds the stream into a 128-bit Fingerprint (the transposition
+//     table key);
+//   * TextSink renders the same stream as a decimal string - the *full*
+//     canonical state, stored behind the hash in collision-audit mode so a
+//     128-bit collision is detected instead of silently merging two distinct
+//     states.
+//
+// Objects that hold behaviour-relevant shared state implement the
+// Fingerprintable mixin and register themselves with their Scheduler
+// (Scheduler::register_state_source); Scheduler::state_digest drives the
+// per-process control skeleton plus every registered source through a sink.
+//
+// Soundness contract.  A fingerprint must determine the world's residual
+// behaviour: pruning is verdict-preserving only if equal canonical states
+// imply identical subtrees.  The digest covers each process's step count and
+// poised step (kind + object), which pins the local state of straight-line
+// and counted-loop scripts; process-local state that is *not* a function of
+// (own steps taken, shared contents) - e.g. a remembered earlier read - must
+// be folded in via ExplorableWorld::fingerprint_extra, or dedupe must stay
+// off for that world.  Every word fed below is length-prefixed (vector sizes,
+// presence flags), so the word stream is an injective encoding of the state
+// for a fixed world factory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace revisim::util {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+// Receives the canonical state as a stream of 64-bit words.
+class StateSink {
+ public:
+  virtual ~StateSink() = default;
+  virtual void word(std::uint64_t w) = 0;
+};
+
+// 128-bit accumulator: two independently keyed 64-bit lanes, each word mixed
+// through a full-avalanche finalizer (the splitmix64/murmur3 fmix), plus a
+// word count folded in at digest time.  Not cryptographic - collision-audit
+// mode exists for the paranoid configurations.
+class HashSink final : public StateSink {
+ public:
+  void word(std::uint64_t w) override {
+    a_ = mix(a_ ^ (w * 0x9e3779b97f4a7c15ull));
+    b_ = mix(b_ + (w * 0xbf58476d1ce4e5b9ull) + 0x94d049bb133111ebull);
+    ++n_;
+  }
+
+  [[nodiscard]] Fingerprint digest() const {
+    Fingerprint fp;
+    fp.hi = mix(a_ + 0x2545f4914f6cdd1dull * n_);
+    fp.lo = mix(b_ ^ (a_ + n_));
+    return fp;
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  std::uint64_t a_ = 0x6a09e667f3bcc908ull;  // distinct lane seeds
+  std::uint64_t b_ = 0xbb67ae8584caa73bull;
+  std::uint64_t n_ = 0;
+};
+
+// Renders the word stream as a decimal string: the full canonical state.
+class TextSink final : public StateSink {
+ public:
+  explicit TextSink(std::string& out) : out_(out) {}
+
+  void word(std::uint64_t w) override {
+    out_ += std::to_string(w);
+    out_.push_back(' ');
+  }
+
+ private:
+  std::string& out_;
+};
+
+// Mixin for shared objects whose contents are part of the canonical global
+// state.  Implementations feed their state to the sink with the helpers
+// below; registration order (construction order) fixes the schema, so two
+// worlds built by the same factory produce comparable streams.
+class Fingerprintable {
+ public:
+  virtual ~Fingerprintable() = default;
+  virtual void fingerprint_into(StateSink& sink) const = 0;
+};
+
+// --- feed helpers: size-prefixed, presence-flagged encodings --------------
+
+template <typename T>
+concept SelfFingerprinting = requires(const T& t, StateSink& s) {
+  t.fingerprint_into(s);
+};
+
+template <typename T>
+  requires std::is_integral_v<T> || std::is_enum_v<T>
+inline void feed(StateSink& sink, T v) {
+  sink.word(static_cast<std::uint64_t>(v));
+}
+
+template <SelfFingerprinting T>
+inline void feed(StateSink& sink, const T& v) {
+  v.fingerprint_into(sink);
+}
+
+template <typename T>
+inline void feed(StateSink& sink, const std::optional<T>& v) {
+  sink.word(v.has_value() ? 1 : 0);
+  if (v.has_value()) {
+    feed(sink, *v);
+  }
+}
+
+template <typename T>
+inline void feed(StateSink& sink, const std::vector<T>& v) {
+  sink.word(v.size());
+  for (const auto& e : v) {
+    feed(sink, e);
+  }
+}
+
+}  // namespace revisim::util

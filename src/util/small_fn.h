@@ -1,0 +1,128 @@
+// Move-only type-erased nullary callable with a generous inline buffer.
+//
+// The scheduler grants one base-object operation per step, and every posed
+// operation used to travel through std::function, whose ~16-byte small-buffer
+// budget forces a heap allocation for any callable that captures more than a
+// pointer - e.g. a register write carrying its value, which on the snapshot
+// substrates is a whole Cell (vectors included).  SmallFn keeps callables up
+// to kInlineBytes inline (steps allocate nothing) and falls back to the heap
+// only for oversized or throwing-move captures.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace revisim::util {
+
+template <typename R>
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 120;
+
+  SmallFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+    }
+    vtable_ = vtable_for<Fn>();
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  R operator()() { return vtable_->invoke(target()); }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(target());
+      vtable_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*);
+    // Move-construct *src into dst's inline buffer, then destroy *src.
+    // Null for heap-stored callables (the pointer is stolen instead).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static const VTable* vtable_for() {
+    if constexpr (fits_inline<Fn>()) {
+      static constexpr VTable vt{
+          [](void* p) -> R { return (*static_cast<Fn*>(p))(); },
+          [](void* dst, void* src) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+          },
+          [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }};
+      return &vt;
+    } else {
+      static constexpr VTable vt{
+          [](void* p) -> R { return (*static_cast<Fn*>(p))(); },
+          nullptr,
+          [](void* p) noexcept { delete static_cast<Fn*>(p); }};
+      return &vt;
+    }
+  }
+
+  void* target() noexcept {
+    return vtable_ != nullptr && vtable_->relocate != nullptr
+               ? static_cast<void*>(buf_)
+               : heap_;
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ == nullptr) {
+      return;
+    }
+    if (vtable_->relocate != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+    } else {
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+    }
+    other.vtable_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void* heap_ = nullptr;
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace revisim::util

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -65,17 +64,25 @@ inline std::string to_string(const std::optional<Val>& v) {
   return v ? std::to_string(*v) : std::string("_");
 }
 
+// Direct string building: this sits on the step-detail path whenever trace
+// recording is on, so it reserves once and appends instead of paying for an
+// ostringstream per rendered view.
 inline std::string to_string(const View& view) {
-  std::ostringstream out;
-  out << '[';
+  std::string out;
+  out.reserve(2 + 8 * view.size());
+  out.push_back('[');
   for (std::size_t j = 0; j < view.size(); ++j) {
     if (j != 0) {
-      out << ' ';
+      out.push_back(' ');
     }
-    out << to_string(view[j]);
+    if (view[j].has_value()) {
+      out += std::to_string(*view[j]);
+    } else {
+      out.push_back('_');
+    }
   }
-  out << ']';
-  return out.str();
+  out.push_back(']');
+  return out;
 }
 
 }  // namespace revisim

@@ -18,6 +18,7 @@
 #include "src/augmented/linearizer.h"
 #include "src/check/model_check.h"
 #include "src/check/parallel_explore.h"
+#include "src/memory/register.h"
 #include "src/runtime/scheduler.h"
 
 namespace revisim {
@@ -67,6 +68,15 @@ class ScriptWorld final : public ExplorableWorld {
       return "planted violation";
     }
     return std::nullopt;
+  }
+
+  // The verdict reads the world-local order log - state the scheduler digest
+  // cannot see - so the soundness contract requires folding it into the
+  // fingerprint.  Doing so makes every state unique (the log is the
+  // schedule): dedupe must then prune nothing and reproduce undeduped
+  // results bit-for-bit, which the tests below pin down.
+  void fingerprint_extra(util::StateSink& sink) override {
+    util::feed(sink, order_);
   }
 
  private:
@@ -291,6 +301,121 @@ TEST(ParallelExplore, ViolationAboveFrontierDepth) {
   opt.frontier_depth = 32;
   auto res = parallel_explore_schedules(factory, opt);
   expect_same(res, serial, "deep frontier");
+}
+
+// --- transposition dedupe: verdict parity across thread counts ---
+
+Task<void> tag_script(mem::TypedRegister<Val>& reg, Val me,
+                      std::size_t writes) {
+  for (std::size_t i = 0; i < writes; ++i) {
+    co_await reg.write(me);
+  }
+}
+
+// Processes stamp their id into one shared register; the verdict reads only
+// shared state, so the scheduler digest alone satisfies the soundness
+// contract and transpositions merge aggressively (the canonical state is
+// just per-process progress plus the last writer).
+class LastWriterWorld final : public ExplorableWorld {
+ public:
+  LastWriterWorld(std::vector<std::size_t> writes, Val banned)
+      : reg_(sched_, "R", Val{-1}), banned_(banned) {
+    for (ProcessId p = 0; p < writes.size(); ++p) {
+      sched_.spawn(tag_script(reg_, Val(p), writes[p]), "w");
+    }
+  }
+
+  Scheduler& scheduler() override { return sched_; }
+
+  std::optional<std::string> verdict(bool complete) override {
+    if (complete && reg_.peek() == banned_) {
+      return "banned last writer";
+    }
+    return std::nullopt;
+  }
+
+ private:
+  Scheduler sched_;
+  mem::TypedRegister<Val> reg_;
+  Val banned_;
+};
+
+auto last_writer_factory(std::vector<std::size_t> writes, Val banned) {
+  return [writes = std::move(writes), banned] {
+    return std::make_unique<LastWriterWorld>(writes, banned);
+  };
+}
+
+TEST(ParallelDedupe, VerdictParityAcrossThreadCounts) {
+  // Uncapped searches: the violation-found / violation-free verdict must
+  // agree between undeduped serial, deduped serial and deduped parallel at
+  // every thread count.  Counts and witnesses may differ by design.
+  for (Val banned : {Val{0}, Val{-7}}) {  // planted / absent
+    auto factory = last_writer_factory({3, 3, 2}, banned);
+    auto plain = explore_schedules(factory);
+    ScheduleExploreOptions base;
+    base.dedupe_states = true;
+    auto serial = explore_schedules(factory, base);
+    EXPECT_EQ(serial.violation.has_value(), plain.violation.has_value());
+    EXPECT_TRUE(serial.exhausted);
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      ParallelExploreOptions opt;
+      opt.base = base;
+      opt.threads = threads;
+      opt.frontier_depth = 3;
+      auto res = parallel_explore_schedules(factory, opt);
+      const std::string what =
+          "banned=" + std::to_string(banned) +
+          " threads=" + std::to_string(threads);
+      EXPECT_EQ(res.violation.has_value(), plain.violation.has_value())
+          << what;
+      EXPECT_TRUE(res.exhausted) << what;
+      EXPECT_LE(res.executions * 2, plain.executions) << what;  // >= 2x win
+      EXPECT_GT(res.states_seen, 0u) << what;
+    }
+  }
+}
+
+TEST(ParallelDedupe, AuditModeAcrossThreadCounts) {
+  ScheduleExploreOptions base;
+  base.dedupe_states = true;
+  base.dedupe_audit = true;
+  for (std::size_t threads : {2u, 4u}) {
+    ParallelExploreOptions opt;
+    opt.base = base;
+    opt.threads = threads;
+    opt.frontier_depth = 3;
+    auto res =
+        parallel_explore_schedules(last_writer_factory({3, 3, 2}, 0), opt);
+    EXPECT_TRUE(res.violation.has_value()) << threads;
+    EXPECT_GT(res.subtrees_pruned, 0u) << threads;
+  }
+}
+
+TEST(ParallelDedupe, FingerprintExtraKeepsUniqueStatesBitIdentical) {
+  // ScriptWorld folds its order log into the fingerprint, making every
+  // state unique: dedupe finds no transpositions and must reproduce the
+  // undeduped explorer bit-for-bit - including executions and witness.
+  const Schedule planted{0, 1, 1, 0};
+  auto factory = script_factory({2, 2}, {planted});
+  auto plain = explore_schedules(factory);
+  ASSERT_TRUE(plain.violation.has_value());
+
+  ScheduleExploreOptions base;
+  base.dedupe_states = true;
+  auto serial = explore_schedules(factory, base);
+  expect_same(serial, plain, "serial dedupe, unique states");
+  EXPECT_EQ(serial.subtrees_pruned, 0u);
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ParallelExploreOptions opt;
+    opt.base = base;
+    opt.threads = threads;
+    opt.frontier_depth = 2;
+    auto res = parallel_explore_schedules(factory, opt);
+    expect_same(res, plain, "threads=" + std::to_string(threads));
+    EXPECT_EQ(res.subtrees_pruned, 0u) << threads;
+  }
 }
 
 TEST(ParallelExplore, ViolationExactlyAtCapAcrossThreads) {
