@@ -35,6 +35,7 @@
 #include "bench/bench_util.h"
 #include "src/augmented/augmented_snapshot.h"
 #include "src/augmented/linearizer.h"
+#include "src/check/crash_worlds.h"
 #include "src/check/model_check.h"
 #include "src/check/parallel_explore.h"
 #include "src/memory/collect_snapshot.h"
@@ -259,6 +260,57 @@ bool run_instance(const std::string& name,
   return ok;
 }
 
+// Crash-branching exploration of the registered crash worlds: how fast the
+// crash-closed tree grows with the crash budget, and that the wait-freedom
+// verdict (clean real object, flagged mutant) carries over to the parallel
+// explorer at every thread count.
+bool run_crash_instance(const std::string& world, bool expect_violation) {
+  check::CrashWorldSpec spec;
+  spec.world = world;
+  const auto make = check::make_crash_world_factory(spec);
+
+  std::printf("\n  crash instance %s (f=%zu m=%zu budget=%zu)\n",
+              world.c_str(), spec.f, spec.m, spec.step_budget);
+  std::printf("  %-16s %10s %9s %12s\n", "config", "execs", "sec",
+              "execs/sec");
+
+  bool ok = true;
+  for (std::size_t crashes : {0u, 1u, 2u}) {
+    ScheduleExploreOptions opt;
+    opt.max_crashes = crashes;
+    const auto serial = timed([&] { return explore_schedules(make, opt); });
+    check::ParallelExploreOptions popt;
+    popt.base = opt;
+    popt.threads = 4;
+    const auto par =
+        timed([&] { return check::parallel_explore_schedules(make, popt); });
+    ok = ok && same(serial.result, par.result);
+    // A clean world stays clean with crashes allowed; a flagged world must
+    // be flagged already crash-free (interference alone starves the mutant)
+    // and stay flagged under every crash budget.
+    ok = ok && serial.result.violation.has_value() == expect_violation;
+    auto row = [&](const std::string& config, const Measured& m,
+                   std::size_t threads) {
+      const double rate = m.result.executions / std::max(m.seconds, 1e-9);
+      std::printf("  %-16s %10zu %9.3f %12.0f\n", config.c_str(),
+                  m.result.executions, m.seconds, rate);
+      benchutil::json_line("BENCH_modelcheck.json", "modelcheck-crash",
+                           {{"world", world},
+                            {"config", config},
+                            {"threads", threads},
+                            {"max_crashes", crashes},
+                            {"executions", m.result.executions},
+                            {"exhausted", m.result.exhausted},
+                            {"violation", m.result.violation.has_value()},
+                            {"seconds", m.seconds},
+                            {"execs_per_sec", rate}});
+    };
+    row("serial-c" + std::to_string(crashes), serial, 1);
+    row("parallel-c" + std::to_string(crashes), par, 4);
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main() {
@@ -286,6 +338,8 @@ int main() {
       500'000);
   ok &= run_instance(
       "augmented-3proc", [] { return std::make_unique<AugWorld>(); }, 30'000);
+  ok &= run_crash_instance("aug-bu", /*expect_violation=*/false);
+  ok &= run_crash_instance("aug-mutant", /*expect_violation=*/true);
 
   benchutil::verdict(ok,
                      "undeduped configurations bit-identical; dedupe "

@@ -1,17 +1,26 @@
 // Command-line driver: run any configuration of the revisionist simulation
-// and print the run report.
+// and print the run report, or work with crash-exploration witnesses.
 //
 // Usage:
 //   revisim_cli [--protocol racing|approx] [--n N] [--m M] [--f F] [--d D]
 //               [--eps E] [--seed S] [--seeds COUNT] [--burst]
 //               [--substrate atomic|registers] [--task consensus|kset:K|approx]
 //               [--trace]
+//   revisim_cli explore [--world aug-bu|aug-mutant] [--f F] [--m M]
+//               [--budget B] [--max-crashes C] [--max-steps S]
+//               [--max-executions E] [--witness PATH]
+//   revisim_cli replay <witness-file>
 //
 // Examples:
 //   revisim_cli --protocol racing --n 4 --m 2 --f 2 --seeds 50
 //       hunt for consensus violations of the starved racing protocol
 //   revisim_cli --protocol approx --n 4 --m 2 --eps 1e-4 --substrate registers
 //       run the epsilon-agreement reduction on plain registers
+//   revisim_cli explore --world aug-mutant --max-crashes 2 --witness w.txt
+//       crash-closed wait-freedom check of the mutant; writes the witness
+//   revisim_cli replay w.txt
+//       deterministically reproduce a recorded verdict (exit 0 iff it
+//       matches)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +28,9 @@
 #include <string>
 
 #include "src/bounds/bounds.h"
+#include "src/check/crash_worlds.h"
+#include "src/check/model_check.h"
+#include "src/check/witness.h"
 #include "src/protocols/approx_agreement.h"
 #include "src/protocols/racing_agreement.h"
 #include "src/runtime/adversary.h"
@@ -123,9 +135,113 @@ std::unique_ptr<tasks::ColorlessTask> make_task(const Args& a) {
   std::exit(2);
 }
 
+// `revisim_cli replay <witness-file>`: rebuild the witnessed world from the
+// crash-world registry, replay the recorded schedule (steps and crashes)
+// and compare the re-derived verdict with the recorded one.  Exit 0 iff
+// they match, 1 on mismatch, 2 on a malformed witness.
+int run_replay(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s replay <witness-file>\n", argv[0]);
+    return 2;
+  }
+  try {
+    const check::Witness w = check::load_witness_file(argv[2]);
+    std::printf("witness: world %s f=%zu m=%zu budget=%zu | %zu entries\n",
+                w.spec.world.c_str(), w.spec.f, w.spec.m, w.spec.step_budget,
+                w.schedule.size());
+    const check::ReplayResult r = check::replay_witness(w);
+    std::printf("recorded verdict: %s\n",
+                w.verdict.empty() ? "(accepted)" : w.verdict.c_str());
+    std::printf("replayed verdict: %s\n",
+                r.verdict ? r.verdict->c_str() : "(accepted)");
+    std::printf("replayed %zu steps + %zu crashes: %s\n", r.steps, r.crashes,
+                r.matches ? "verdict reproduced" : "VERDICT MISMATCH");
+    return r.matches ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replay failed: %s\n", e.what());
+    return 2;
+  }
+}
+
+// `revisim_cli explore ...`: crash-closed exhaustive exploration of a
+// registry world; writes a replayable witness when a violation is found.
+// Exit 0 when no violation exists, 1 on a violation, 2 on bad arguments.
+int run_explore(int argc, char** argv) {
+  check::CrashWorldSpec spec;
+  check::ScheduleExploreOptions opt;
+  opt.max_crashes = 2;
+  std::string witness_path;
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--world")) {
+      spec.world = next("--world");
+    } else if (!std::strcmp(argv[i], "--f")) {
+      spec.f = std::strtoull(next("--f"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--m")) {
+      spec.m = std::strtoull(next("--m"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--budget")) {
+      spec.step_budget = std::strtoull(next("--budget"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--max-crashes")) {
+      opt.max_crashes = std::strtoull(next("--max-crashes"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--max-steps")) {
+      opt.max_steps = std::strtoull(next("--max-steps"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--max-executions")) {
+      opt.max_executions = std::strtoull(next("--max-executions"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--witness")) {
+      witness_path = next("--witness");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  try {
+    auto factory = check::make_crash_world_factory(spec);
+    auto res = check::explore_schedules(factory, opt);
+    std::printf("world %s f=%zu m=%zu budget=%zu | max_crashes=%zu "
+                "max_steps=%zu\n",
+                spec.world.c_str(), spec.f, spec.m, spec.step_budget,
+                opt.max_crashes, opt.max_steps);
+    std::printf("%zu executions, %s\n", res.executions,
+                res.exhausted ? "exhausted" : "truncated at cap");
+    if (!res.violation) {
+      std::printf("no violation\n");
+      return 0;
+    }
+    std::printf("violation: %s\n", res.violation->c_str());
+    check::Witness w;
+    w.spec = spec;
+    w.max_steps = opt.max_steps;
+    w.max_crashes = opt.max_crashes;
+    w.verdict = *res.violation;
+    w.schedule = res.witness;
+    if (!witness_path.empty()) {
+      check::write_witness_file(w, witness_path);
+      std::printf("witness written to %s\n", witness_path.c_str());
+    } else {
+      std::printf("%s", check::to_text(w).c_str());
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "explore failed: %s\n", e.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && !std::strcmp(argv[1], "replay")) {
+    return run_replay(argc, argv);
+  }
+  if (argc > 1 && !std::strcmp(argv[1], "explore")) {
+    return run_explore(argc, argv);
+  }
   const Args args = parse(argc, argv);
   auto protocol = make_protocol(args);
   auto task = make_task(args);

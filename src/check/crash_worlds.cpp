@@ -1,0 +1,101 @@
+#include "src/check/crash_worlds.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/augmented/augmented_snapshot.h"
+#include "src/augmented/mutant_snapshot.h"
+#include "src/check/watchdog.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/task.h"
+
+namespace revisim::check {
+namespace {
+
+runtime::Task<void> monitored_block_update(aug::IAugmentedSnapshot& obj,
+                                           ProgressMonitor& monitor,
+                                           runtime::ProcessId me,
+                                           std::size_t comp, Val val) {
+  const std::size_t token = monitor.begin(me, "Block-Update");
+  std::vector<std::size_t> comps{comp};
+  std::vector<Val> vals{val};
+  co_await obj.BlockUpdate(me, std::move(comps), std::move(vals));
+  monitor.end(token);
+}
+
+class CrashWorld final : public ExplorableWorld {
+ public:
+  explicit CrashWorld(const CrashWorldSpec& spec)
+      : monitor_(sched_, spec.step_budget) {
+    if (spec.world == "aug-bu") {
+      obj_ = std::make_unique<aug::AugmentedSnapshot>(sched_, "M", spec.m,
+                                                      spec.f);
+    } else if (spec.world == "aug-mutant") {
+      obj_ = std::make_unique<aug::MutantAugmentedSnapshot>(sched_, "M",
+                                                            spec.m, spec.f);
+    } else {
+      throw std::invalid_argument("unknown crash world: " + spec.world);
+    }
+    for (runtime::ProcessId i = 0; i < spec.f; ++i) {
+      sched_.spawn(monitored_block_update(*obj_, monitor_, i, i % spec.m,
+                                          Val(10 * (i + 1))),
+                   "q" + std::to_string(i + 1));
+    }
+  }
+
+  runtime::Scheduler& scheduler() override { return sched_; }
+
+  std::optional<std::string> verdict(bool complete) override {
+    (void)complete;  // the budget binds on partial executions too
+    if (auto v = monitor_.check()) {
+      return v->message();
+    }
+    return std::nullopt;
+  }
+
+ private:
+  runtime::Scheduler sched_;
+  ProgressMonitor monitor_;
+  std::unique_ptr<aug::IAugmentedSnapshot> obj_;
+};
+
+}  // namespace
+
+std::vector<std::string> crash_world_names() {
+  return {"aug-bu", "aug-mutant"};
+}
+
+std::function<std::unique_ptr<ExplorableWorld>()> make_crash_world_factory(
+    const CrashWorldSpec& spec) {
+  bool known = false;
+  for (const std::string& name : crash_world_names()) {
+    if (name == spec.world) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    std::string names;
+    for (const std::string& name : crash_world_names()) {
+      names += (names.empty() ? "" : ", ") + name;
+    }
+    throw std::invalid_argument("unknown crash world \"" + spec.world +
+                                "\"; known worlds: " + names);
+  }
+  if (spec.f == 0) {
+    throw std::invalid_argument("crash world \"" + spec.world +
+                                "\": f (processes) must be >= 1");
+  }
+  if (spec.m == 0) {
+    throw std::invalid_argument("crash world \"" + spec.world +
+                                "\": m (components) must be >= 1");
+  }
+  if (spec.step_budget == 0) {
+    throw std::invalid_argument("crash world \"" + spec.world +
+                                "\": step_budget must be >= 1");
+  }
+  CrashWorldSpec copy = spec;
+  return [copy] { return std::make_unique<CrashWorld>(copy); };
+}
+
+}  // namespace revisim::check

@@ -1,0 +1,52 @@
+// Registry of named, parameterized crash-exploration worlds.
+//
+// A failure witness must be replayable across binaries: the world a test's
+// explorer flagged has to be rebuildable, bit-for-bit, by `revisim_cli
+// replay` from nothing but the witness file.  Worlds therefore carry names
+// and parameters instead of closures, and tests, the benchmark and the CLI
+// all build them through this one registry.
+//
+// Shape of every registered world: f processes share one m-component
+// augmented snapshot; process i performs a single Block-Update writing
+// 10*(i+1) to component i mod m, monitored by a ProgressMonitor with the
+// given per-operation own-step budget (see src/check/watchdog.h).  The
+// verdict flags the first over-budget operation.
+//
+//   "aug-bu"     - the real augmented snapshot (Algorithm 4).  Wait-free:
+//                  every Block-Update takes exactly 6 own steps (5 when
+//                  yielding), so with budget >= 6 no schedule - crashes or
+//                  not - produces a violation.
+//   "aug-mutant" - MutantAugmentedSnapshot, the non-wait-free positive
+//                  control: its Block-Update first waits for quiescence via
+//                  an inner Scan, so interference inflates its own-step
+//                  count past any fixed budget (9 solo, +2 per interfering
+//                  update batch).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/check/model_check.h"
+
+namespace revisim::check {
+
+struct CrashWorldSpec {
+  std::string world = "aug-bu";  // registry name
+  std::size_t f = 2;             // processes
+  std::size_t m = 2;             // snapshot components
+  std::size_t step_budget = 10;  // watchdog budget per Block-Update
+};
+
+// Names this registry knows, in registration order.
+std::vector<std::string> crash_world_names();
+
+// Validates the spec (known name, f >= 1, m >= 1, step_budget >= 1; clear
+// std::invalid_argument otherwise) and returns a factory building fresh,
+// independent worlds - directly usable with explore_schedules and
+// parallel_explore_schedules.
+std::function<std::unique_ptr<ExplorableWorld>()> make_crash_world_factory(
+    const CrashWorldSpec& spec);
+
+}  // namespace revisim::check

@@ -23,6 +23,25 @@ struct ParkedWorld {
 
 }  // namespace
 
+void append_node_choices(const std::vector<runtime::ProcessId>& runnable,
+                         std::size_t crashes_used, std::size_t max_crashes,
+                         std::optional<runtime::ProcessId> prev,
+                         std::vector<runtime::ProcessId>& out) {
+  out.assign(runnable.begin(), runnable.end());
+  if (crashes_used >= max_crashes) {
+    return;
+  }
+  runtime::ProcessId min_target = 0;
+  if (prev && runtime::is_crash_entry(*prev)) {
+    min_target = runtime::crash_entry_target(*prev) + 1;
+  }
+  for (runtime::ProcessId pid : runnable) {
+    if (pid >= min_target) {
+      out.push_back(runtime::make_crash_entry(pid));
+    }
+  }
+}
+
 SubtreeResult explore_subtree(
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
     const std::vector<runtime::ProcessId>& prefix,
@@ -76,7 +95,7 @@ SubtreeResult explore_subtree(
       w = fresh_world();
     }
     for (std::size_t i = from; i < len; ++i) {
-      w->scheduler().run_step(schedule[i]);
+      runtime::apply_schedule_entry(w->scheduler(), schedule[i]);
     }
     return w;
   };
@@ -154,7 +173,20 @@ SubtreeResult explore_subtree(
       stack.emplace_back();
     }
     Frame& f = stack[depth];
-    f.choices.assign(runnable.begin(), runnable.end());
+    const std::size_t crashes_used =
+        options.max_crashes == 0
+            ? 0
+            : static_cast<std::size_t>(
+                  std::count_if(schedule.begin(), schedule.end(),
+                                [](runtime::ProcessId e) {
+                                  return runtime::is_crash_entry(e);
+                                }));
+    std::optional<runtime::ProcessId> prev;
+    if (!schedule.empty()) {
+      prev = schedule.back();
+    }
+    append_node_choices(runnable, crashes_used, options.max_crashes, prev,
+                        f.choices);
     f.next = 1;
     ++depth;
     const bool park = f.choices.size() >= 2 && pool.size() < options.warm_worlds;
@@ -168,10 +200,10 @@ SubtreeResult explore_subtree(
       pool.push_back(ParkedWorld{schedule.size() - 1, std::move(world)});
       world = fresh_world();
       for (std::size_t i = 0; i + 1 < schedule.size(); ++i) {
-        world->scheduler().run_step(schedule[i]);
+        runtime::apply_schedule_entry(world->scheduler(), schedule[i]);
       }
     }
-    world->scheduler().run_step(schedule.back());
+    runtime::apply_schedule_entry(world->scheduler(), schedule.back());
   }
 }
 

@@ -36,6 +36,14 @@ struct SubtreeOptions {
   std::size_t max_executions = 500'000;  // execution cap (values < 1 act as 1)
   bool record_traces = false;            // leave Scheduler fast mode off?
   std::size_t warm_worlds = 8;           // checkpoint pool capacity (0 = off)
+  // Crash branching: at every node, besides one step per runnable process,
+  // the walk also branches on "crash p here" for each runnable p while the
+  // schedule holds fewer than `max_crashes` crash entries.  Crash entries
+  // occupy schedule slots (they count toward max_steps) and sort after all
+  // step entries, so crash-free schedules are enumerated first and the
+  // witness stays the lexicographically smallest violating schedule.  0
+  // disables crash branching and reproduces the crash-free explorer.
+  std::size_t max_crashes = 0;
   // Transposition pruning: consult a visited-state table at every node
   // strictly deeper than the prefix root and skip subtrees rooted at states
   // already seen.  Verdict-preserving by construction (equal states generate
@@ -78,5 +86,22 @@ SubtreeResult explore_subtree(
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
     const std::vector<runtime::ProcessId>& prefix, const SubtreeOptions& options,
     const AbortProbe& abort = {});
+
+// Appends to `out` the schedule entries available at a node whose runnable
+// set is `runnable`: first one plain step entry per runnable process, then -
+// when `crashes_used < max_crashes` - one crash entry per runnable process.
+// Both the serial engine and the parallel explorer's frontier generation
+// build choices through this, so crash-extended exploration keeps the
+// serial/parallel parity guarantee by construction.
+//
+// Canonicalization: adjacent crashes commute (crashing p then q at one step
+// boundary reaches the same state as q then p), so when the previous
+// schedule entry `prev` is itself a crash entry, only crash targets larger
+// than its target are offered.  Every crash *set* at a boundary is still
+// reached - exactly once, in increasing-pid order.
+void append_node_choices(const std::vector<runtime::ProcessId>& runnable,
+                         std::size_t crashes_used, std::size_t max_crashes,
+                         std::optional<runtime::ProcessId> prev,
+                         std::vector<runtime::ProcessId>& out);
 
 }  // namespace revisim::check::detail

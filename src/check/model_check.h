@@ -89,6 +89,15 @@ struct ScheduleExploreOptions {
   // fingerprint and throw StateFingerprintCollision if a 128-bit hash ever
   // covers two distinct states.  Memory-hungry; for validation runs.
   bool dedupe_audit = false;
+  // Crash-fault branching: besides one step per runnable process, every node
+  // also branches on "crash p here" for each runnable p, up to this many
+  // crashes per execution.  A crash permanently retires the process with its
+  // poised operation discarded unexecuted (Scheduler::crash); executions
+  // where only crashed processes remain unfinished are complete
+  // (crash-closure).  Crash entries appear in witness schedules with the
+  // top bit set (runtime::make_crash_entry) and occupy schedule slots, so
+  // they count toward max_steps.  0 (default) disables crash branching.
+  std::size_t max_crashes = 0;
 };
 
 struct ScheduleExploreResult {
@@ -102,9 +111,22 @@ struct ScheduleExploreResult {
   // Transposition-table statistics (0 with dedupe_states off).
   std::size_t states_seen = 0;       // distinct canonical states recorded
   std::size_t subtrees_pruned = 0;   // subtrees skipped as already-seen
+  // Graceful-degradation summary (parallel explorer only; the serial
+  // explorer propagates exceptions and has no wall clock).  `error` carries
+  // the message of a worker job that kept throwing past its retry budget;
+  // `timed_out` means the wall-clock limit cut the search.  Either way the
+  // counts above cover the lexicographic prefix of the tree that *was*
+  // explored, and exhausted is false.
+  std::optional<std::string> error;
+  bool timed_out = false;
 
   [[nodiscard]] bool ok() const noexcept { return !violation; }
 };
+
+// Validates the option struct, throwing std::invalid_argument with a
+// message naming the offending field.  explore_schedules and
+// parallel_explore_schedules call this on entry.
+void validate(const ScheduleExploreOptions& options);
 
 ScheduleExploreResult explore_schedules(
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,

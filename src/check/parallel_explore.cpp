@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -31,6 +34,10 @@ struct FrontierItem {
 // Generation stops at the first violating shallow leaf: no later item can
 // affect the merged result (the merge returns at or before it).
 //
+// Choices at every node come from detail::append_node_choices, the same
+// builder the subtree engine uses, so crash-branching prefixes are
+// enumerated in exactly the serial order too.
+//
 // With a transposition table, the walk inserts every node below the root
 // (the empty schedule is skipped: it roots the whole search and recurs
 // nowhere) and prunes already-seen states before emitting them - so every
@@ -53,8 +60,8 @@ std::vector<FrontierItem> generate_frontier(
     if (!options.record_traces) {
       world->scheduler().set_recording(false);
     }
-    for (ProcessId pid : schedule) {
-      world->scheduler().run_step(pid);
+    for (ProcessId entry : schedule) {
+      runtime::apply_schedule_entry(world->scheduler(), entry);
     }
     return world;
   };
@@ -100,9 +107,24 @@ std::vector<FrontierItem> generate_frontier(
       world = make_world();
       continue;
     }
-    stack.push_back(Frame{runnable, 1});
-    schedule.push_back(runnable[0]);
-    world->scheduler().run_step(runnable[0]);
+    const std::size_t crashes_used =
+        options.max_crashes == 0
+            ? 0
+            : static_cast<std::size_t>(
+                  std::count_if(schedule.begin(), schedule.end(),
+                                [](ProcessId e) {
+                                  return runtime::is_crash_entry(e);
+                                }));
+    std::optional<ProcessId> prev;
+    if (!schedule.empty()) {
+      prev = schedule.back();
+    }
+    std::vector<ProcessId> choices;
+    detail::append_node_choices(runnable, crashes_used, options.max_crashes,
+                                prev, choices);
+    stack.push_back(Frame{std::move(choices), 1});
+    schedule.push_back(stack.back().choices[0]);
+    runtime::apply_schedule_entry(world->scheduler(), schedule.back());
   }
 }
 
@@ -111,9 +133,16 @@ std::vector<FrontierItem> generate_frontier(
 ScheduleExploreResult parallel_explore_schedules(
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
     const ParallelExploreOptions& options) {
+  validate(options.base);
   const std::size_t cap = std::max<std::size_t>(options.base.max_executions, 1);
   const std::size_t frontier =
       std::min(options.frontier_depth, options.base.max_steps);
+  using Clock = std::chrono::steady_clock;
+  const std::optional<Clock::time_point> deadline =
+      options.time_limit.count() > 0
+          ? std::optional<Clock::time_point>(Clock::now() + options.time_limit)
+          : std::nullopt;
+  auto past_deadline = [&] { return deadline && Clock::now() >= *deadline; };
 
   // One transposition table shared by the generation walk and every worker.
   std::unique_ptr<StateTable> table;
@@ -132,7 +161,18 @@ ScheduleExploreResult parallel_explore_schedules(
   }
 
   std::vector<detail::SubtreeResult> job_results(items.size());
-  std::vector<std::exception_ptr> job_errors(items.size());
+  // Non-empty = the job failed every attempt; the message is the last
+  // exception's what().  The merge degrades to a partial summary there.
+  std::vector<std::string> job_failed(items.size());
+  // executions + 1 per completed item (0 = never completed).  Read by the
+  // cap-coupling prefix during the run and by the merge afterwards to tell
+  // deadline-skipped jobs apart from completed ones.
+  std::vector<std::atomic<std::uint64_t>> item_done(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].is_job) {
+      item_done[i].store(2, std::memory_order_relaxed);  // 1 execution
+    }
+  }
 
   if (!job_items.empty()) {
     std::size_t threads = options.threads != 0
@@ -154,16 +194,10 @@ ScheduleExploreResult parallel_explore_schedules(
     // execution count, packed (index, executions) into one atomic word.
     // For a job at item i the quantity prefix_cum + (i - prefix_idx) is a
     // sound lower bound on the serial execution count before i (every item
-    // holds at least one execution), so once the bound reaches the cap the
-    // merge provably returns before reading i and the job can be skipped
-    // or aborted - again without any effect on the merged output.
-    // item_done holds executions + 1 per completed item (0 = incomplete).
-    std::vector<std::atomic<std::uint64_t>> item_done(items.size());
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      if (!items[i].is_job) {
-        item_done[i].store(2, std::memory_order_relaxed);  // 1 execution
-      }
-    }
+    // holds at least one execution; a failed job holds zero, which only
+    // lowers the bound and keeps it sound), so once the bound reaches the
+    // cap the merge provably returns before reading i and the job can be
+    // skipped or aborted - again without any effect on the merged output.
     std::mutex prefix_mu;
     std::atomic<std::uint64_t> prefix_state{0};
     auto pack = [](std::uint64_t idx, std::uint64_t cum) {
@@ -197,6 +231,9 @@ ScheduleExploreResult parallel_explore_schedules(
 
     auto worker = [&] {
       for (;;) {
+        if (past_deadline()) {
+          return;  // pending jobs stay unran; the merge reports the timeout
+        }
         const std::size_t j = next_job.fetch_add(1, std::memory_order_relaxed);
         if (j >= job_items.size()) {
           return;
@@ -213,28 +250,48 @@ ScheduleExploreResult parallel_explore_schedules(
         sub.record_traces = options.base.record_traces;
         sub.warm_worlds = options.base.warm_worlds;
         sub.dedupe_states = options.base.dedupe_states;
+        sub.max_crashes = options.base.max_crashes;
         sub.table = table.get();
         auto abort = [&, item_idx] {
           return item_idx > first_violation.load(std::memory_order_relaxed) ||
-                 bound_before(item_idx) >= cap;
+                 bound_before(item_idx) >= cap || past_deadline();
         };
-        try {
-          auto jr =
-              detail::explore_subtree(factory, items[item_idx].schedule, sub,
-                                      abort);
-          if (jr.violation) {
-            std::size_t cur = first_violation.load(std::memory_order_relaxed);
-            while (item_idx < cur && !first_violation.compare_exchange_weak(
-                                         cur, item_idx,
-                                         std::memory_order_relaxed)) {
+        // Bounded retries: exploration is deterministic replay, so only
+        // transient failures (resource exhaustion) are recoverable; a
+        // deterministic throw exhausts the budget and marks the job failed
+        // instead of tearing the whole search down.
+        bool done = false;
+        std::string failure;
+        for (std::size_t attempt = 0;
+             attempt <= options.job_retries && !done && !past_deadline();
+             ++attempt) {
+          try {
+            auto jr = detail::explore_subtree(factory,
+                                              items[item_idx].schedule, sub,
+                                              abort);
+            if (jr.violation) {
+              std::size_t cur = first_violation.load(std::memory_order_relaxed);
+              while (item_idx < cur && !first_violation.compare_exchange_weak(
+                                           cur, item_idx,
+                                           std::memory_order_relaxed)) {
+              }
             }
+            job_results[item_idx] = std::move(jr);
+            item_done[item_idx].store(job_results[item_idx].executions + 1,
+                                      std::memory_order_release);
+            done = true;
+          } catch (const std::exception& e) {
+            failure = e.what();
+          } catch (...) {
+            failure = "unknown exception";
           }
-          job_results[item_idx] = std::move(jr);
-          item_done[item_idx].store(job_results[item_idx].executions + 1,
-                                    std::memory_order_release);
+        }
+        if (!done && !failure.empty()) {
+          job_failed[item_idx] = std::move(failure);
+          item_done[item_idx].store(1, std::memory_order_release);  // 0 execs
+        }
+        if (done || !job_failed[item_idx].empty()) {
           advance_prefix();
-        } catch (...) {
-          job_errors[item_idx] = std::current_exception();
         }
       }
     };
@@ -265,9 +322,26 @@ ScheduleExploreResult parallel_explore_schedules(
   }
   std::size_t cum = 0;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (job_errors[i]) {
-      // The serial explorer would have thrown inside this subtree.
-      std::rethrow_exception(job_errors[i]);
+    if (!job_failed[i].empty()) {
+      // The job threw past its retry budget.  Everything before it merged
+      // normally; report the partial summary instead of rethrowing.
+      res.executions = cum;
+      res.exhausted = false;
+      res.error = "subtree job failed after " +
+                  std::to_string(options.job_retries + 1) + " attempt(s): " +
+                  job_failed[i];
+      return res;
+    }
+    if (items[i].is_job &&
+        item_done[i].load(std::memory_order_acquire) == 0) {
+      // The job never ran.  The merge returns strictly before every item
+      // skipped for violation or cap reasons, so reaching an unran item
+      // here means the wall-clock limit expired: report the partial
+      // summary rather than waiting on work that will never arrive.
+      res.executions = cum;
+      res.exhausted = false;
+      res.timed_out = true;
+      return res;
     }
     std::size_t n = 1;
     bool fully = true;
@@ -299,6 +373,14 @@ ScheduleExploreResult parallel_explore_schedules(
                              cum + n > cap || i + 1 < items.size();
       res.executions = cap;
       res.exhausted = !truncated;
+      return res;
+    }
+    if (!fully) {
+      // Below the cap only a wall-clock abort leaves a merged job partially
+      // explored (violation- and cap-skips are returned before, above).
+      res.executions = cum + n;
+      res.exhausted = false;
+      res.timed_out = true;
       return res;
     }
     cum += n;

@@ -28,7 +28,18 @@
 // thread-safe; worlds it returns must not share mutable state.  Every world
 // built by the seed's tests already satisfies this (each world owns its
 // scheduler and objects outright).
+// Graceful degradation.  A worker job that throws is retried up to
+// `job_retries` times; a job that keeps throwing marks the run failed
+// instead of propagating the exception, and the merge returns a partial
+// summary (`error` set, `exhausted` false) covering the lexicographic
+// prefix of the tree explored before the failed job.  A positive
+// `time_limit` bounds the wall clock of the worker phase: when it expires,
+// running subtrees abort at their next probe, pending jobs are skipped, and
+// the merge again returns a partial summary (`timed_out` set) instead of
+// blocking on work that will never arrive.
 #pragma once
+
+#include <chrono>
 
 #include "src/check/model_check.h"
 
@@ -43,6 +54,13 @@ struct ParallelExploreOptions {
   // larger values yield more, smaller jobs (better load balance, more
   // replay overhead per job).
   std::size_t frontier_depth = 6;
+  // Additional attempts for a worker job whose exploration throws.  Replay
+  // is deterministic, so retries recover only transient failures (resource
+  // exhaustion); a deterministic throw exhausts the budget and the run
+  // degrades to a partial summary with `error` set.
+  std::size_t job_retries = 2;
+  // Wall-clock budget for the worker phase; zero means unlimited.
+  std::chrono::milliseconds time_limit{0};
 };
 
 ScheduleExploreResult parallel_explore_schedules(

@@ -1,9 +1,11 @@
 #include "src/check/protocol_check.h"
 
+#include <bit>
 #include <deque>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace revisim::check {
@@ -31,15 +33,44 @@ void subsets_up_to(std::size_t n, std::size_t x,
 
 }  // namespace
 
+void validate(const ExploreOptions& options, std::size_t processes) {
+  if (options.max_states == 0) {
+    throw std::invalid_argument(
+        "ExploreOptions: max_states must be >= 1 (a cap of 0 explores "
+        "nothing)");
+  }
+  if (options.check_termination && options.solo_budget == 0) {
+    throw std::invalid_argument(
+        "ExploreOptions: solo_budget must be >= 1 when termination is "
+        "probed");
+  }
+  if (options.max_crashes > 0) {
+    if (options.max_crashes >= processes) {
+      throw std::invalid_argument(
+          "ExploreOptions: max_crashes (" +
+          std::to_string(options.max_crashes) +
+          ") must be < the process count (" + std::to_string(processes) +
+          "): some process must stay live");
+    }
+    if (processes > 64) {
+      throw std::invalid_argument(
+          "ExploreOptions: crash exploration supports at most 64 processes "
+          "(crashed sets are 64-bit masks)");
+    }
+  }
+}
+
 ExploreResult explore(const proto::Protocol& protocol,
                       const std::vector<Val>& inputs,
                       const tasks::ColorlessTask& task,
                       const ExploreOptions& options) {
+  validate(options, inputs.size());
   ExploreResult res;
   std::unordered_set<std::string> seen;
   struct Node {
     proto::ProtocolRun cfg;
     std::size_t depth;
+    std::uint64_t crashed;  // bit i: process i crashed in this configuration
   };
   std::deque<Node> frontier;
 
@@ -48,9 +79,34 @@ ExploreResult explore(const proto::Protocol& protocol,
     subsets_up_to(inputs.size(), options.x == 0 ? 1 : options.x, probe_sets);
   }
 
+  // Configurations that differ only in who has crashed behave differently
+  // (a crashed process never moves again), so the crashed set joins the
+  // dedup key.  With crashes off the key is the plain state key, keeping
+  // state counts comparable with earlier results.
+  auto node_key = [&](const proto::ProtocolRun& cfg, std::uint64_t crashed) {
+    std::string key = cfg.state_key();
+    if (options.max_crashes > 0) {
+      key += "|crashed=" + std::to_string(crashed);
+    }
+    return key;
+  };
+  auto describe = [&](const proto::ProtocolRun& cfg, std::uint64_t crashed) {
+    std::string out = cfg.state_key();
+    if (crashed != 0) {
+      out += " crashed={";
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if ((crashed >> i) & 1u) {
+          out += ' ' + std::to_string(i);
+        }
+      }
+      out += " }";
+    }
+    return out;
+  };
+
   proto::ProtocolRun init(protocol, inputs);
-  seen.insert(init.state_key());
-  frontier.push_back(Node{std::move(init), 0});
+  seen.insert(node_key(init, 0));
+  frontier.push_back(Node{std::move(init), 0, 0});
 
   while (!frontier.empty()) {
     if (res.states_visited >= options.max_states) {
@@ -62,23 +118,36 @@ ExploreResult explore(const proto::Protocol& protocol,
     frontier.pop_front();
     ++res.states_visited;
 
-    // Safety: the partial output set must already be valid.
+    // Safety: the partial output set must already be valid.  (Crashed
+    // processes simply contribute no output - colorless task validity is
+    // over the partial output set, so crash-truncated runs need no special
+    // handling.)
     auto verdict = task.validate(inputs, cfg.outputs());
     if (!verdict.ok && !res.safety_violation) {
-      res.safety_violation = verdict.reason + " [state " + cfg.state_key() + "]";
+      res.safety_violation =
+          verdict.reason + " [state " + describe(cfg, node.crashed) + "]";
       return res;
     }
 
-    // Termination probes from this configuration.
+    // Termination probes from this configuration - including every
+    // post-crash configuration reached below.  Probe sets containing a
+    // crashed process are skipped: a crashed process cannot be scheduled,
+    // and its non-termination is a fault, not a liveness failure.  Every
+    // all-live subset must still finish within the budget.
     if (options.check_termination) {
       for (const auto& set : probe_sets) {
+        bool eligible = true;
         bool all_done = true;
         for (std::size_t i : set) {
+          if ((node.crashed >> i) & 1u) {
+            eligible = false;
+            break;
+          }
           if (!cfg.done(i)) {
             all_done = false;
           }
         }
-        if (all_done) {
+        if (!eligible || all_done) {
           continue;
         }
         proto::ProtocolRun probe = cfg;
@@ -93,33 +162,44 @@ ExploreResult explore(const proto::Protocol& protocol,
             why << ' ' << i;
           }
           why << " } fails to terminate within " << options.solo_budget
-              << " steps [state " << cfg.state_key() << "]";
+              << " steps [state " << describe(cfg, node.crashed) << "]";
           res.termination_violation = why.str();
           return res;
         }
         // The probe's final outputs must also be safe.
         auto v2 = task.validate(inputs, probe.outputs());
         if (!v2.ok && !res.safety_violation) {
-          res.safety_violation =
-              v2.reason + " [after solo/fair run from " + cfg.state_key() + "]";
+          res.safety_violation = v2.reason + " [after solo/fair run from " +
+                                 describe(cfg, node.crashed) + "]";
           return res;
         }
       }
     }
 
-    // Expand successors up to the depth bound.
+    // Expand successors up to the depth bound: one step by any live
+    // process, plus - while the crash budget lasts - crashing any live
+    // process.  Crash transitions occupy a depth level like steps do.
     if (node.depth >= options.max_depth) {
       continue;
     }
+    const auto crashes_used =
+        static_cast<std::size_t>(std::popcount(node.crashed));
     for (std::size_t i = 0; i < cfg.processes(); ++i) {
-      if (cfg.done(i)) {
+      if (cfg.done(i) || ((node.crashed >> i) & 1u)) {
         continue;
       }
       proto::ProtocolRun next = cfg;
       next.step(i);
-      auto key = next.state_key();
+      auto key = node_key(next, node.crashed);
       if (seen.insert(std::move(key)).second) {
-        frontier.push_back(Node{std::move(next), node.depth + 1});
+        frontier.push_back(Node{std::move(next), node.depth + 1, node.crashed});
+      }
+      if (crashes_used < options.max_crashes) {
+        const std::uint64_t crashed = node.crashed | (std::uint64_t{1} << i);
+        auto ckey = node_key(cfg, crashed);
+        if (seen.insert(std::move(ckey)).second) {
+          frontier.push_back(Node{cfg, node.depth + 1, crashed});
+        }
       }
     }
   }

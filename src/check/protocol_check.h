@@ -34,7 +34,22 @@ struct ExploreOptions {
   std::size_t x = 0;                    // if > 0, probe x-obstruction-freedom
                                         // (fair runs of every subset <= x)
   bool check_termination = true;        // probe solo/fair termination
+  // Crash faults: besides stepping any live process, the exploration also
+  // branches on permanently crashing one, as long as fewer than this many
+  // processes are crashed in the configuration.  Crashed processes take no
+  // further steps and are excluded from termination probes (a crash is not
+  // a starvation failure) - but every *surviving* process must still
+  // terminate solo from every post-crash configuration, which is the
+  // crash-tolerance claim this checker probes (e.g. the Theorem 21
+  // simulation with up to f-1 crashed simulators).  Must be < the process
+  // count; requires at most 64 processes.  0 (default) disables crashes.
+  std::size_t max_crashes = 0;
 };
+
+// Validates the options against the instance, throwing
+// std::invalid_argument naming the offending field.  explore() calls this
+// on entry.
+void validate(const ExploreOptions& options, std::size_t processes);
 
 struct ExploreResult {
   std::size_t states_visited = 0;

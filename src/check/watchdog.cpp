@@ -1,0 +1,51 @@
+#include "src/check/watchdog.h"
+
+#include <stdexcept>
+
+namespace revisim::check {
+
+std::string ProgressViolation::message() const {
+  return "progress violation: q" + std::to_string(process + 1) + "'s " +
+         operation + " took " + std::to_string(steps) + " own steps (budget " +
+         std::to_string(budget) +
+         (completed ? ", completed" : ", still running") + ")";
+}
+
+ProgressMonitor::ProgressMonitor(const runtime::Scheduler& sched,
+                                 std::size_t step_budget)
+    : sched_(sched), budget_(step_budget) {
+  if (step_budget == 0) {
+    throw std::invalid_argument(
+        "ProgressMonitor: step_budget must be >= 1 (every operation charges "
+        "at least one step)");
+  }
+}
+
+std::size_t ProgressMonitor::begin(runtime::ProcessId pid,
+                                   std::string operation) {
+  ops_.push_back(
+      Op{pid, std::move(operation), sched_.steps_taken(pid), std::nullopt});
+  return ops_.size() - 1;
+}
+
+void ProgressMonitor::end(std::size_t token) {
+  Op& op = ops_.at(token);
+  if (op.used) {
+    throw std::logic_error("ProgressMonitor: operation ended twice");
+  }
+  op.used = sched_.steps_taken(op.pid) - op.start_steps;
+}
+
+std::optional<ProgressViolation> ProgressMonitor::check() const {
+  for (const Op& op : ops_) {
+    const std::size_t used =
+        op.used ? *op.used : sched_.steps_taken(op.pid) - op.start_steps;
+    if (used > budget_) {
+      return ProgressViolation{op.pid, op.name, budget_, used,
+                               op.used.has_value()};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace revisim::check

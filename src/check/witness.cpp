@@ -1,0 +1,180 @@
+#include "src/check/witness.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/runtime/scheduler.h"
+
+namespace revisim::check {
+namespace {
+
+// Verdict messages are stored on one line; fold any embedded newlines.
+std::string one_line(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_text(const Witness& w) {
+  std::ostringstream out;
+  out << "revisim-witness v1\n";
+  out << "world " << w.spec.world << '\n';
+  out << "processes " << w.spec.f << '\n';
+  out << "components " << w.spec.m << '\n';
+  out << "budget " << w.spec.step_budget << '\n';
+  out << "max_steps " << w.max_steps << '\n';
+  out << "max_crashes " << w.max_crashes << '\n';
+  out << "verdict " << one_line(w.verdict) << '\n';
+  out << "schedule";
+  for (runtime::ProcessId entry : w.schedule) {
+    if (runtime::is_crash_entry(entry)) {
+      out << " c" << runtime::crash_entry_target(entry);
+    } else {
+      out << " s" << entry;
+    }
+  }
+  out << "\nend\n";
+  return out.str();
+}
+
+Witness parse_witness(const std::string& text) {
+  Witness w;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  auto fail = [&](const std::string& why) -> void {
+    throw std::invalid_argument("witness line " + std::to_string(lineno) +
+                                ": " + why);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (!saw_header) {
+      if (line != "revisim-witness v1") {
+        fail("expected header \"revisim-witness v1\", got \"" + line + "\"");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    }
+    if (key == "world") {
+      ls >> w.spec.world;
+    } else if (key == "processes") {
+      if (!(ls >> w.spec.f)) fail("processes needs a number");
+    } else if (key == "components") {
+      if (!(ls >> w.spec.m)) fail("components needs a number");
+    } else if (key == "budget") {
+      if (!(ls >> w.spec.step_budget)) fail("budget needs a number");
+    } else if (key == "max_steps") {
+      if (!(ls >> w.max_steps)) fail("max_steps needs a number");
+    } else if (key == "max_crashes") {
+      if (!(ls >> w.max_crashes)) fail("max_crashes needs a number");
+    } else if (key == "verdict") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') {
+        rest.erase(0, 1);
+      }
+      w.verdict = rest;
+    } else if (key == "schedule") {
+      std::string tok;
+      while (ls >> tok) {
+        if (tok.size() < 2 || (tok[0] != 's' && tok[0] != 'c')) {
+          fail("bad schedule entry \"" + tok +
+               "\" (want s<pid> or c<pid>, 0-based)");
+        }
+        runtime::ProcessId pid = 0;
+        try {
+          pid = std::stoull(tok.substr(1));
+        } catch (const std::exception&) {
+          fail("bad schedule entry \"" + tok + "\"");
+        }
+        w.schedule.push_back(tok[0] == 'c' ? runtime::make_crash_entry(pid)
+                                           : pid);
+      }
+    } else {
+      fail("unknown key \"" + key + "\"");
+    }
+  }
+  if (!saw_header) {
+    throw std::invalid_argument("witness: missing \"revisim-witness v1\" header");
+  }
+  if (!saw_end) {
+    throw std::invalid_argument(
+        "witness: missing \"end\" line (truncated file?)");
+  }
+  return w;
+}
+
+void write_witness_file(const Witness& w, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open witness file for writing: " + path);
+  }
+  out << to_text(w);
+  if (!out) {
+    throw std::runtime_error("failed writing witness file: " + path);
+  }
+}
+
+Witness load_witness_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open witness file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_witness(buf.str());
+}
+
+ReplayResult replay_witness(const Witness& w) {
+  auto factory = make_crash_world_factory(w.spec);
+  auto world = factory();
+  for (runtime::ProcessId entry : w.schedule) {
+    const runtime::ProcessId target = runtime::is_crash_entry(entry)
+                                          ? runtime::crash_entry_target(entry)
+                                          : entry;
+    if (target >= world->scheduler().process_count()) {
+      throw std::invalid_argument(
+          "witness schedule references process " + std::to_string(target) +
+          " but the world has " +
+          std::to_string(world->scheduler().process_count()) + " processes");
+    }
+  }
+  ReplayResult res;
+  for (runtime::ProcessId entry : w.schedule) {
+    runtime::apply_schedule_entry(world->scheduler(), entry);
+    if (runtime::is_crash_entry(entry)) {
+      ++res.crashes;
+    } else {
+      ++res.steps;
+    }
+  }
+  const bool complete = world->scheduler().runnable().empty();
+  res.verdict = world->verdict(complete);
+  const std::string got = res.verdict.value_or("");
+  res.matches = one_line(got) == one_line(w.verdict);
+  return res;
+}
+
+}  // namespace revisim::check

@@ -1,0 +1,68 @@
+// Replayable failure witnesses.
+//
+// When a checker or watchdog flags an execution, the schedule that produced
+// it - including any injected crashes - is the whole proof.  A witness file
+// serializes that proof in a versioned text format so the verdict survives
+// the process that found it: a later binary (the test rerun, `revisim_cli
+// replay`, a human with an editor) rebuilds the named world from the
+// crash-world registry, replays the schedule entry by entry, and re-derives
+// the verdict deterministically.  Determinism of executions under a fixed
+// schedule (the scheduler's core invariant) is what makes this sound.
+//
+// Format v1, line-oriented, '#' comments allowed:
+//
+//   revisim-witness v1
+//   world aug-mutant
+//   processes 2
+//   components 2
+//   budget 10
+//   max_steps 64
+//   max_crashes 2
+//   verdict progress violation: q1's Block-Update took 11 own steps ...
+//   schedule s0 s1 c1 s0 ...
+//   end
+//
+// Schedule entries: `s<pid>` is one step by process pid, `c<pid>` crashes
+// it (0-based pids).  `verdict` holds the rest of the line verbatim (empty
+// means the execution was accepted - useful for regression-pinning a
+// passing run).  max_steps / max_crashes record the exploration options
+// that found the witness; replay does not need them but tooling does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/check/crash_worlds.h"
+#include "src/runtime/trace.h"
+
+namespace revisim::check {
+
+struct Witness {
+  CrashWorldSpec spec;
+  std::size_t max_steps = 0;
+  std::size_t max_crashes = 0;
+  std::string verdict;  // empty = accepted execution
+  std::vector<runtime::ProcessId> schedule;  // may contain crash entries
+};
+
+// Serialization.  parse_witness throws std::invalid_argument naming the
+// offending line; load_witness_file adds std::runtime_error for I/O.
+[[nodiscard]] std::string to_text(const Witness& w);
+[[nodiscard]] Witness parse_witness(const std::string& text);
+void write_witness_file(const Witness& w, const std::string& path);
+[[nodiscard]] Witness load_witness_file(const std::string& path);
+
+// Replays the witness: rebuilds the world from the registry, applies every
+// schedule entry, evaluates the verdict.  Throws std::invalid_argument if
+// the schedule does not fit the world (bad pid, step on a finished or
+// crashed process) - a witness from a different code version.
+struct ReplayResult {
+  std::optional<std::string> verdict;  // what the replayed world reported
+  bool matches = false;                // == the recorded verdict
+  std::size_t steps = 0;               // plain step entries applied
+  std::size_t crashes = 0;             // crash entries applied
+};
+[[nodiscard]] ReplayResult replay_witness(const Witness& w);
+
+}  // namespace revisim::check

@@ -1,6 +1,8 @@
 #include "src/runtime/adversary.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "src/runtime/scheduler.h"
 
@@ -45,12 +47,101 @@ std::optional<ProcessId> ScriptedAdversary::pick(
     if (std::binary_search(runnable.begin(), runnable.end(), want)) {
       return want;
     }
-    // Scripted process already finished; skip the stale entry.
+    if (policy_ == OnUnrunnable::kError) {
+      throw std::logic_error("ScriptedAdversary: scripted process q" +
+                             std::to_string(want + 1) + " (entry " +
+                             std::to_string(pos_ - 1) +
+                             ") is not runnable: finished, crashed, or never "
+                             "spawned");
+    }
+    // kSkip: scripted process already finished/crashed; skip the stale entry.
   }
   if (stop_at_end_) {
     return std::nullopt;
   }
   return tail_.pick(runnable, sched);
+}
+
+CrashAdversary::CrashAdversary(Scheduler& sched, Adversary& base,
+                               std::vector<CrashPoint> plan)
+    : sched_(sched), base_(base), plan_(std::move(plan)) {
+  std::stable_sort(plan_.begin(), plan_.end(),
+                   [](const CrashPoint& a, const CrashPoint& b) {
+                     return a.at_step < b.at_step;
+                   });
+  for (const CrashPoint& cp : plan_) {
+    if (cp.pid >= sched_.process_count()) {
+      throw std::invalid_argument(
+          "CrashAdversary: crash point targets process q" +
+          std::to_string(cp.pid + 1) + " but only " +
+          std::to_string(sched_.process_count()) +
+          " processes are spawned (spawn before constructing the adversary)");
+    }
+  }
+}
+
+CrashAdversary::CrashAdversary(Scheduler& sched, Adversary& base,
+                               std::uint64_t seed, std::size_t max_crashes,
+                               std::size_t horizon)
+    : sched_(sched), base_(base) {
+  const std::size_t n = sched_.process_count();
+  if (n == 0) {
+    throw std::invalid_argument(
+        "CrashAdversary: no processes spawned (spawn before constructing the "
+        "adversary)");
+  }
+  if (max_crashes > n) {
+    throw std::invalid_argument(
+        "CrashAdversary: max_crashes (" + std::to_string(max_crashes) +
+        ") exceeds process count (" + std::to_string(n) + ")");
+  }
+  if (horizon == 0 && max_crashes > 0) {
+    throw std::invalid_argument(
+        "CrashAdversary: horizon must be positive to place crash points");
+  }
+  // Sample max_crashes distinct victims via a seeded partial Fisher-Yates,
+  // then give each a uniform crash step in [0, horizon).
+  std::mt19937_64 rng(seed);
+  std::vector<ProcessId> ids(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    ids[i] = i;
+  }
+  for (std::size_t k = 0; k < max_crashes; ++k) {
+    std::uniform_int_distribution<std::size_t> pick_idx(k, n - 1);
+    std::swap(ids[k], ids[pick_idx(rng)]);
+    std::uniform_int_distribution<std::size_t> pick_step(0, horizon - 1);
+    plan_.push_back(CrashPoint{pick_step(rng), ids[k]});
+  }
+  std::stable_sort(plan_.begin(), plan_.end(),
+                   [](const CrashPoint& a, const CrashPoint& b) {
+                     return a.at_step < b.at_step;
+                   });
+}
+
+std::optional<ProcessId> CrashAdversary::pick(
+    const std::vector<ProcessId>& runnable, const Scheduler& sched) {
+  // Fire every due crash point.  pick() is called at a step boundary, so
+  // injecting the fault here satisfies Scheduler::crash's contract.
+  while (next_ < plan_.size() && plan_[next_].at_step <= sched_.total_steps()) {
+    const CrashPoint cp = plan_[next_++];
+    if (sched_.is_done(cp.pid) || sched_.is_crashed(cp.pid)) {
+      continue;  // execution outpaced the plan; the point is moot
+    }
+    sched_.crash(cp.pid);
+    performed_.push_back(cp);
+  }
+  // The runnable list we were handed predates the injected crashes; show the
+  // base adversary only the survivors.
+  survivors_.clear();
+  for (ProcessId pid : runnable) {
+    if (!sched_.is_crashed(pid)) {
+      survivors_.push_back(pid);
+    }
+  }
+  if (survivors_.empty()) {
+    return std::nullopt;  // every live process just crashed: run is complete
+  }
+  return base_.pick(survivors_, sched);
 }
 
 std::optional<ProcessId> SoloAdversary::pick(

@@ -64,11 +64,30 @@ class BurstAdversary final : public Adversary {
 
 // Replays a fixed schedule prefix, then falls back to a tail policy
 // (round-robin).  The model checker enumerates prefixes through this.
+//
+// Contract for scripted entries that are not currently runnable (the
+// process already finished, crashed, or was never spawned):
+//   * kSkip (default): the stale entry is consumed and skipped; the next
+//     scripted entry is tried.  This is what schedule-prefix enumeration
+//     wants - a prefix recorded against one world stays usable on a world
+//     whose processes finish slightly earlier.
+//   * kError: throws std::logic_error naming the entry and its position.
+//     Use this when the script is meant to be exact (replay debugging),
+//     where silently skipping would mask a divergence.
+// An *empty* script behaves like any exhausted script: with
+// stop_at_end=true the very first pick returns std::nullopt (a zero-step
+// execution, which Scheduler::run reports as a cut); with stop_at_end=false
+// every pick falls through to the round-robin tail.
 class ScriptedAdversary final : public Adversary {
  public:
+  enum class OnUnrunnable { kSkip, kError };
+
   explicit ScriptedAdversary(std::vector<ProcessId> script,
-                             bool stop_at_end = false)
-      : script_(std::move(script)), stop_at_end_(stop_at_end) {}
+                             bool stop_at_end = false,
+                             OnUnrunnable policy = OnUnrunnable::kSkip)
+      : script_(std::move(script)),
+        stop_at_end_(stop_at_end),
+        policy_(policy) {}
   std::optional<ProcessId> pick(const std::vector<ProcessId>& runnable,
                                 const Scheduler& sched) override;
 
@@ -77,6 +96,7 @@ class ScriptedAdversary final : public Adversary {
  private:
   std::vector<ProcessId> script_;
   bool stop_at_end_;
+  OnUnrunnable policy_;
   std::size_t pos_ = 0;
   RoundRobinAdversary tail_;
 };
@@ -91,6 +111,62 @@ class SoloAdversary final : public Adversary {
 
  private:
   ProcessId only_;
+};
+
+// Crash-fault injection decorator: crashes processes at planned step
+// boundaries, delegating the surviving choices to any base adversary.  This
+// is what turns the wait-freedom and crash-tolerance theorems from claims
+// tested by inference into claims tested by injection: the simulation of
+// Theorem 21 must terminate with up to f-1 simulators crashed, and the
+// augmented snapshot's per-process operations must stay wait-free whatever
+// subset of their peers dies.
+//
+// A crash point (at_step, pid) fires at the first pick whose global step
+// count has reached at_step: the scheduler permanently retires pid
+// (Scheduler::crash), its poised operation is discarded unexecuted, and the
+// base adversary is shown only the surviving runnable set.  Points whose
+// target already finished or crashed are dropped silently (the plan is a
+// schedule-independent script; executions may outpace it).  When every
+// remaining runnable process was just crashed, pick returns std::nullopt
+// and Scheduler::run reports all_done() - a crash-complete execution.
+//
+// The decorator needs mutable scheduler access to inject faults, so it is
+// bound to one Scheduler at construction; processes must already be
+// spawned.  `performed()` lists the crashes that actually fired, in order -
+// the crash plan a failure witness records.
+class CrashAdversary final : public Adversary {
+ public:
+  struct CrashPoint {
+    std::size_t at_step = 0;  // fires once total_steps() >= at_step
+    ProcessId pid = 0;
+  };
+
+  // Scripted plan.  Points may be in any order; they are sorted by at_step.
+  CrashAdversary(Scheduler& sched, Adversary& base,
+                 std::vector<CrashPoint> plan);
+
+  // Seeded-random plan: up to `max_crashes` distinct processes, each with a
+  // crash step drawn uniformly from [0, horizon).  Deterministic in seed.
+  CrashAdversary(Scheduler& sched, Adversary& base, std::uint64_t seed,
+                 std::size_t max_crashes, std::size_t horizon);
+
+  std::optional<ProcessId> pick(const std::vector<ProcessId>& runnable,
+                                const Scheduler& sched) override;
+
+  [[nodiscard]] const std::vector<CrashPoint>& plan() const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] const std::vector<CrashPoint>& performed() const noexcept {
+    return performed_;
+  }
+
+ private:
+  Scheduler& sched_;
+  Adversary& base_;
+  std::vector<CrashPoint> plan_;
+  std::vector<CrashPoint> performed_;
+  std::size_t next_ = 0;
+  std::vector<ProcessId> survivors_;
 };
 
 }  // namespace revisim::runtime

@@ -30,7 +30,7 @@ void Scheduler::runnable_into(std::vector<ProcessId>& out) const {
   out.clear();
   for (ProcessId i = 0; i < procs_.size(); ++i) {
     const Process& p = *procs_[i];
-    if (!p.done && (!p.started || p.poised)) {
+    if (!p.done && !p.crashed && (!p.started || p.poised)) {
       out.push_back(i);
     }
   }
@@ -38,11 +38,39 @@ void Scheduler::runnable_into(std::vector<ProcessId>& out) const {
 
 bool Scheduler::all_done() const {
   for (const auto& p : procs_) {
-    if (!p->done) {
+    if (!p->done && !p->crashed) {
       return false;
     }
   }
   return true;
+}
+
+void Scheduler::crash(ProcessId pid) {
+  Process& p = *procs_.at(pid);
+  if (in_step_) {
+    throw std::logic_error(
+        "crash must happen at a step boundary, not inside a step");
+  }
+  if (p.done) {
+    throw std::logic_error("crash on finished process");
+  }
+  if (p.crashed) {
+    throw std::logic_error("process already crashed");
+  }
+  p.crashed = true;
+  p.poised = false;
+  p.exec = nullptr;
+  p.exec_ctx = nullptr;
+  p.resumer = {};
+  p.step_detail.clear();
+  // Destroying the frame unwinds the whole suspended call chain; the poised
+  // operation (whose awaiter lived in a frame) is gone without executing.
+  p.body = Task<void>{};
+  ++crash_count_;
+  if (recording_) {
+    trace_.events.push_back(
+        Event{step_count_, pid, 0, StepKind::kCrash, "crash"});
+  }
 }
 
 void Scheduler::post_step(std::coroutine_handle<> resumer, StepExec exec,
@@ -64,7 +92,7 @@ void Scheduler::state_digest(util::StateSink& sink) const {
   sink.word(procs_.size());
   for (const auto& p : procs_) {
     sink.word((p->started ? 1u : 0u) | (p->done ? 2u : 0u) |
-              (p->poised ? 4u : 0u));
+              (p->poised ? 4u : 0u) | (p->crashed ? 8u : 0u));
     sink.word(p->steps);
     if (p->poised) {
       sink.word(p->step_object);
@@ -81,6 +109,9 @@ void Scheduler::run_step(ProcessId pid) {
   Process& p = *procs_.at(pid);
   if (p.done) {
     throw std::logic_error("run_step on finished process");
+  }
+  if (p.crashed) {
+    throw std::logic_error("run_step on crashed process");
   }
   current_ = pid;
   in_step_ = true;
@@ -155,7 +186,10 @@ bool Scheduler::run(Adversary& adversary, std::size_t max_steps,
     }
     auto choice = adversary.pick(candidates, *this);
     if (!choice) {
-      return false;  // adversary ended the execution
+      // The adversary ended the execution - possibly by crashing every
+      // remaining live process (CrashAdversary), in which case the run is
+      // complete rather than cut short.
+      return all_done();
     }
     run_step(*choice);
     ++steps;

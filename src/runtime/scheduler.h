@@ -53,17 +53,30 @@ class Scheduler {
   // paper's q_{i+1}).
   ProcessId spawn(Task<void> body, std::string name = {});
 
-  // Runs until every process finishes, the adversary declines to schedule, or
-  // `max_steps` steps have executed (then throws StepLimitExceeded unless
-  // `throw_on_limit` is false).  Returns true iff all processes finished.
+  // Runs until every process finishes or crashes, the adversary declines to
+  // schedule, or `max_steps` steps have executed (then throws
+  // StepLimitExceeded unless `throw_on_limit` is false).  Returns true iff
+  // no live process remains (every process finished or crashed).
   bool run(Adversary& adversary, std::size_t max_steps = kDefaultMaxSteps,
            bool throw_on_limit = true);
 
   // Runs exactly one step by `pid`; pid must be runnable.
   void run_step(ProcessId pid);
 
+  // Permanently retires a process at a step boundary (the crash faults of
+  // the asynchronous model).  Its poised base-object operation, if any, is
+  // discarded *unexecuted* - a crash lands between the operation being
+  // posed and its atomic step, so the operation never takes effect - and
+  // the coroutine frame is destroyed.  A crashed process is never runnable
+  // again and counts as retired for all_done().  Crashing a finished or
+  // already-crashed process, or crashing from inside a step, is an error.
+  // With recording on, the trace gains a kCrash event (sharing the index of
+  // the next step, since a crash consumes no step).
+  void crash(ProcessId pid);
+
   // Process ids whose next step is poised (or that have not started), in
-  // increasing id order.
+  // increasing id order.  Crashed processes are never runnable: every
+  // adversary and explorer sees only live choices.
   [[nodiscard]] std::vector<ProcessId> runnable() const;
 
   // Allocation-free variant: clears `out` and fills it with the runnable ids.
@@ -71,8 +84,17 @@ class Scheduler {
   // buffer there removes a vector allocation from the exploration hot path.
   void runnable_into(std::vector<ProcessId>& out) const;
 
+  // True iff no live process remains: every process finished *or crashed*.
+  // (Crash-closure: a crashed process's execution is maximal, so the run is
+  // complete once only crashed processes are left unfinished.)
   [[nodiscard]] bool all_done() const;
   [[nodiscard]] bool is_done(ProcessId pid) const { return procs_.at(pid)->done; }
+  [[nodiscard]] bool is_crashed(ProcessId pid) const {
+    return procs_.at(pid)->crashed;
+  }
+  [[nodiscard]] std::size_t crashed_count() const noexcept {
+    return crash_count_;
+  }
   [[nodiscard]] std::size_t process_count() const noexcept { return procs_.size(); }
   [[nodiscard]] std::size_t steps_taken(ProcessId pid) const {
     return procs_.at(pid)->steps;
@@ -141,6 +163,7 @@ class Scheduler {
     std::string name;
     bool started = false;
     bool done = false;
+    bool crashed = false;
     std::size_t steps = 0;
     // Poised step, if any.
     std::coroutine_handle<> resumer;
@@ -161,9 +184,22 @@ class Scheduler {
   Trace trace_;
   std::size_t step_count_ = 0;  // == trace_.size() while recording
   ProcessId current_ = 0;
+  std::size_t crash_count_ = 0;
   bool in_step_ = false;
   bool recording_ = true;
 };
+
+// Applies one serialized schedule entry (see trace.h): a plain id runs one
+// step, a crash entry retires the process.  The explorer, the witness
+// replayer and tests all replay schedules through this, so crash-extended
+// schedules stay replayable end to end.
+inline void apply_schedule_entry(Scheduler& sched, ProcessId entry) {
+  if (is_crash_entry(entry)) {
+    sched.crash(crash_entry_target(entry));
+  } else {
+    sched.run_step(entry);
+  }
+}
 
 // Awaitable representing one atomic base-object step.  `op` runs when the
 // scheduler grants the step; its return value is handed back to the process.

@@ -16,6 +16,8 @@ const char* to_string(StepKind kind) noexcept {
       return "update";
     case StepKind::kOther:
       return "other";
+    case StepKind::kCrash:
+      return "crash";
   }
   return "?";
 }

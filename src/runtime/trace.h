@@ -14,16 +14,40 @@ namespace revisim::runtime {
 using ProcessId = std::size_t;
 
 // Kind of a base-object step.  The model's base objects expose reads/writes
-// on registers and scans/updates on snapshot objects.
+// on registers and scans/updates on snapshot objects.  kCrash marks a crash
+// event in the trace: it is not a base-object step (it consumes no step
+// index of its own) but the record of a process being permanently retired
+// at a step boundary.
 enum class StepKind : std::uint8_t {
   kRead,
   kWrite,
   kScan,
   kUpdate,
   kOther,
+  kCrash,
 };
 
 const char* to_string(StepKind kind) noexcept;
+
+// --- schedule entries -------------------------------------------------------
+//
+// A serialized schedule (explorer witness, witness files, crash-branching
+// exploration) is a sequence of entries, each either a plain ProcessId (one
+// step by that process) or a crash entry - the same id with the top bit set,
+// meaning "crash that process here".  Process ids never reach the top bit,
+// so the encoding is unambiguous and plain schedules are unchanged.
+inline constexpr ProcessId kCrashEntryBit = ProcessId{1}
+                                            << (sizeof(ProcessId) * 8 - 1);
+
+constexpr ProcessId make_crash_entry(ProcessId pid) noexcept {
+  return pid | kCrashEntryBit;
+}
+constexpr bool is_crash_entry(ProcessId entry) noexcept {
+  return (entry & kCrashEntryBit) != 0;
+}
+constexpr ProcessId crash_entry_target(ProcessId entry) noexcept {
+  return entry & ~kCrashEntryBit;
+}
 
 struct Event {
   std::size_t index = 0;      // global step number, 0-based

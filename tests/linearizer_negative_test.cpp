@@ -94,6 +94,64 @@ TEST(LinearizerNegative, TamperedTimestampBreaksLemma12) {
   FAIL() << "no atomic Block-Update in the healthy log";
 }
 
+// The linearizer's crashed-process branch: a Block-Update whose process
+// crashed after the line-2 scan H but before the line-4 update X has
+// step_x == kNoStep; its Updates never reached H, so the linearizer must
+// omit them - and still accept the history (a crash is a legal execution).
+OpLog crashed_before_x_log() {
+  Scheduler sched;
+  AugmentedSnapshot m(sched, "M", 2, 2);
+  sched.spawn(mixed_ops(m, 0), "q1");
+  sched.spawn(mixed_ops(m, 1), "q2");
+  sched.run_step(0);  // q1's line-2 scan H lands...
+  sched.crash(0);     // ...and q1 dies with its line-4 update X poised
+  runtime::RoundRobinAdversary adv;
+  EXPECT_TRUE(sched.run(adv));
+  return m.log();
+}
+
+TEST(LinearizerCrash, CrashedBeforeXIsOmittedAndAccepted) {
+  OpLog log = crashed_before_x_log();
+  const aug::BlockUpdateOpRecord* crashed = nullptr;
+  for (const auto& b : log.block_updates) {
+    if (b.process == 0) {
+      ASSERT_EQ(crashed, nullptr) << "q1 should have exactly one record";
+      crashed = &b;
+    }
+  }
+  ASSERT_NE(crashed, nullptr);
+  EXPECT_NE(crashed->step_h, aug::kNoStep);   // the scan H happened
+  EXPECT_EQ(crashed->step_x, aug::kNoStep);   // the update X never did
+  EXPECT_FALSE(crashed->completed);
+  auto lin = aug::linearize(log, 2);
+  EXPECT_TRUE(lin.ok()) << lin.violations.front();
+  for (const auto& op : lin.ops) {
+    EXPECT_NE(op.process, 0u) << "crashed q1 must linearize no operations";
+  }
+}
+
+TEST(LinearizerCrash, ResurrectedCrashedUpdateIsRejected) {
+  // Negative control for the same branch: tamper the crashed record to
+  // claim its update X executed.  q2's real Scan returned a view without
+  // q1's value, so the fold check (Corollary 15) must fire.
+  OpLog log = crashed_before_x_log();
+  bool scan_seen = false;
+  for (const auto& s : log.scans) {
+    scan_seen = scan_seen || s.completed;
+  }
+  ASSERT_TRUE(scan_seen);
+  for (auto& b : log.block_updates) {
+    if (b.process == 0) {
+      ASSERT_EQ(b.step_x, aug::kNoStep);
+      b.step_x = b.step_h + 1;
+      auto lin = aug::linearize(log, 2);
+      EXPECT_FALSE(lin.ok());
+      return;
+    }
+  }
+  FAIL() << "q1 has no Block-Update record";
+}
+
 TEST(ReplayNegative, TamperedRevisionsRejected) {
   // Hunt for a run with a revision ending in a poised update, then feed the
   // validator corrupted revision records: every corruption must be caught.

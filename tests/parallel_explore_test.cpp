@@ -11,7 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "src/augmented/augmented_snapshot.h"
@@ -432,6 +436,139 @@ TEST(ParallelExplore, ViolationExactlyAtCapAcrossThreads) {
     opt.frontier_depth = 2;
     auto res = parallel_explore_schedules(factory, opt);
     expect_same(res, serial, "threads=" + std::to_string(threads));
+  }
+}
+
+// --- graceful degradation: failing jobs, retries, wall-clock abort ---
+
+// Wraps ScriptWorld; verdict() throws until the shared countdown hits zero.
+class FlakyWorld final : public ExplorableWorld {
+ public:
+  FlakyWorld(std::vector<std::size_t> writes, std::atomic<int>* throws_left)
+      : inner_(std::move(writes), {}), throws_left_(throws_left) {}
+  Scheduler& scheduler() override { return inner_.scheduler(); }
+  std::optional<std::string> verdict(bool complete) override {
+    if (throws_left_->fetch_add(-1) > 0) {
+      throw std::runtime_error("injected verdict fault");
+    }
+    return inner_.verdict(complete);
+  }
+  void fingerprint_extra(util::StateSink& sink) override {
+    inner_.fingerprint_extra(sink);
+  }
+
+ private:
+  ScriptWorld inner_;
+  std::atomic<int>* throws_left_;
+};
+
+TEST(ParallelDegrade, PersistentlyThrowingJobYieldsErrorNotDeadlock) {
+  // Every verdict throws: each job exhausts its retry budget and is marked
+  // failed; the merge must return a partial summary naming the fault
+  // instead of deadlocking or propagating the exception.
+  std::atomic<int> always(1 << 20);
+  ParallelExploreOptions opt;
+  opt.threads = 2;
+  opt.frontier_depth = 1;
+  opt.job_retries = 1;
+  auto res = parallel_explore_schedules(
+      [&] { return std::make_unique<FlakyWorld>(std::vector<std::size_t>{2, 2},
+                                                &always); },
+      opt);
+  ASSERT_TRUE(res.error.has_value());
+  EXPECT_NE(res.error->find("injected verdict fault"), std::string::npos);
+  EXPECT_NE(res.error->find("2 attempt"), std::string::npos);  // 1 + 1 retry
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_FALSE(res.violation);
+}
+
+TEST(ParallelDegrade, TransientFaultIsAbsorbedByRetry) {
+  // One injected throw: some job fails once, its retry succeeds, and the
+  // final summary is bit-identical to the fault-free serial exploration.
+  auto serial = explore_schedules(script_factory({2, 2}));
+  std::atomic<int> once(1);
+  ParallelExploreOptions opt;
+  opt.threads = 2;
+  opt.frontier_depth = 1;
+  opt.job_retries = 2;
+  auto res = parallel_explore_schedules(
+      [&] { return std::make_unique<FlakyWorld>(std::vector<std::size_t>{2, 2},
+                                                &once); },
+      opt);
+  expect_same(res, serial, "transient fault absorbed");
+  EXPECT_FALSE(res.error.has_value());
+  EXPECT_FALSE(res.timed_out);
+}
+
+Task<void> slow_writes(Scheduler& sched, std::size_t obj, ProcessId me,
+                       std::size_t writes) {
+  for (std::size_t i = 0; i < writes; ++i) {
+    co_await runtime::StepAwaiter<void>(
+        sched,
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); },
+        obj, StepKind::kWrite, {});
+  }
+}
+
+class SlowWorld final : public ExplorableWorld {
+ public:
+  explicit SlowWorld(std::vector<std::size_t> writes) {
+    const std::size_t obj = sched_.register_object("r");
+    for (ProcessId p = 0; p < writes.size(); ++p) {
+      sched_.spawn(slow_writes(sched_, obj, p, writes[p]), "q");
+    }
+  }
+  Scheduler& scheduler() override { return sched_; }
+  std::optional<std::string> verdict(bool) override { return std::nullopt; }
+
+ private:
+  Scheduler sched_;
+};
+
+TEST(ParallelDegrade, WallClockLimitReturnsPartialSummary) {
+  // Steps sleep 10ms and the deadline is 1ms: it has passed before any
+  // worker claims a job, so every subtree is left unexplored and the merge
+  // must report a timed-out partial summary rather than block.
+  ParallelExploreOptions opt;
+  opt.threads = 2;
+  opt.frontier_depth = 1;
+  opt.time_limit = std::chrono::milliseconds(1);
+  auto res = parallel_explore_schedules(
+      [] { return std::make_unique<SlowWorld>(std::vector<std::size_t>{2, 2}); },
+      opt);
+  EXPECT_TRUE(res.timed_out);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_FALSE(res.violation);
+  EXPECT_FALSE(res.error.has_value());
+}
+
+TEST(ParallelDegrade, OptionValidationAppliesToParallelEntry) {
+  ParallelExploreOptions opt;
+  opt.base.max_steps = 0;
+  EXPECT_THROW(parallel_explore_schedules(script_factory({1, 1}), opt),
+               std::invalid_argument);
+}
+
+TEST(ParallelCrash, CrashBranchingMatchesSerial) {
+  // Crash-extended trees must stay bit-identical between the serial and the
+  // parallel explorer (shared choice generation): two 1-step writers have
+  // 2 / 6 / 7 executions at 0 / 1 / 2 allowed crashes.
+  for (std::size_t crashes : {0u, 1u, 2u}) {
+    ScheduleExploreOptions base;
+    base.max_crashes = crashes;
+    auto serial = explore_schedules(script_factory({1, 1}), base);
+    EXPECT_EQ(serial.executions, crashes == 0 ? 2u : (crashes == 1 ? 6u : 7u))
+        << crashes;
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      ParallelExploreOptions opt;
+      opt.base = base;
+      opt.threads = threads;
+      opt.frontier_depth = 2;
+      auto res = parallel_explore_schedules(script_factory({1, 1}), opt);
+      expect_same(res, serial,
+                  "crashes=" + std::to_string(crashes) +
+                      " threads=" + std::to_string(threads));
+    }
   }
 }
 
