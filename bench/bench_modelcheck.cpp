@@ -2,9 +2,15 @@
 //
 // Claim: the explorer's replay loop is cheap enough for >=10^5-execution
 // sweeps; disabling trace recording (fast mode) buys a constant-factor
-// speedup with bit-identical results, and the frontier-split parallel
+// speedup with bit-identical results, and the work-stealing parallel
 // explorer returns the same (executions, exhausted, violation, witness)
-// for every thread count while scaling with available cores.
+// for every thread count while never regressing below the serial fast
+// path - its worker count is clamped to the hardware concurrency and its
+// per-worker warm pools adapt to what checkpoint resumption actually
+// earns, so extra requested threads cost nothing on saturated cores.
+//
+// Run with instance names as arguments to bench only those instances
+// (the CI scaling smoke runs the two register instances this way).
 //
 // Three instances:
 //   register-script (5,5,4) - three processes doing 5/5/4 register writes;
@@ -23,6 +29,7 @@
 // combinatorial reduction on the script/collect worlds, and honestly ~1x on
 // the augmented world, whose operation log (global step indices) makes
 // states essentially unique.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -224,6 +231,9 @@ bool run_instance(const std::string& name,
          {"exhausted", m.result.exhausted},
          {"states_seen", m.result.states_seen},
          {"subtrees_pruned", m.result.subtrees_pruned},
+         {"jobs", m.result.jobs},
+         {"steals", m.result.steals},
+         {"replay_steps_saved", m.result.replay_steps_saved},
          {"reduction_vs_undeduped", reduction},
          {"seconds", m.seconds},
          {"execs_per_sec", rate},
@@ -302,6 +312,9 @@ bool run_crash_instance(const std::string& world, bool expect_violation) {
                             {"executions", m.result.executions},
                             {"exhausted", m.result.exhausted},
                             {"violation", m.result.violation.has_value()},
+                            {"jobs", m.result.jobs},
+                            {"steals", m.result.steals},
+                            {"replay_steps_saved", m.result.replay_steps_saved},
                             {"seconds", m.seconds},
                             {"execs_per_sec", rate}});
     };
@@ -313,33 +326,51 @@ bool run_crash_instance(const std::string& world, bool expect_violation) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Positional arguments select instances by name; none selects all.
+  const std::vector<std::string> filter(argv + 1, argv + argc);
+  auto wanted = [&](const std::string& name) {
+    return filter.empty() ||
+           std::find(filter.begin(), filter.end(), name) != filter.end();
+  };
+
   benchutil::header(
-      "E13: model-checker throughput (fast path + parallel frontier split)",
+      "E13: model-checker throughput (fast path + work-stealing parallel)",
       "identical results across trace mode, warm-pool size and thread "
       "count; fast mode and parallelism only change wall-clock");
   std::printf("\n  hardware threads: %u\n",
               std::thread::hardware_concurrency());
 
   bool ok = true;
-  ok &= run_instance(
-      "register-script-554",
-      [] {
-        return std::make_unique<ScriptWorld>(
-            std::vector<std::size_t>{5, 5, 4});
-      },
-      500'000);
-  ok &= run_instance(
-      "collect-writers-443",
-      [] {
-        return std::make_unique<CollectWorld>(
-            std::vector<std::size_t>{4, 4, 3});
-      },
-      500'000);
-  ok &= run_instance(
-      "augmented-3proc", [] { return std::make_unique<AugWorld>(); }, 30'000);
-  ok &= run_crash_instance("aug-bu", /*expect_violation=*/false);
-  ok &= run_crash_instance("aug-mutant", /*expect_violation=*/true);
+  if (wanted("register-script-554")) {
+    ok &= run_instance(
+        "register-script-554",
+        [] {
+          return std::make_unique<ScriptWorld>(
+              std::vector<std::size_t>{5, 5, 4});
+        },
+        500'000);
+  }
+  if (wanted("collect-writers-443")) {
+    ok &= run_instance(
+        "collect-writers-443",
+        [] {
+          return std::make_unique<CollectWorld>(
+              std::vector<std::size_t>{4, 4, 3});
+        },
+        500'000);
+  }
+  if (wanted("augmented-3proc")) {
+    ok &= run_instance(
+        "augmented-3proc", [] { return std::make_unique<AugWorld>(); },
+        30'000);
+  }
+  if (wanted("aug-bu")) {
+    ok &= run_crash_instance("aug-bu", /*expect_violation=*/false);
+  }
+  if (wanted("aug-mutant")) {
+    ok &= run_crash_instance("aug-mutant", /*expect_violation=*/true);
+  }
 
   benchutil::verdict(ok,
                      "undeduped configurations bit-identical; dedupe "

@@ -1,6 +1,7 @@
 #include "src/check/explore_core.h"
 
 #include <algorithm>
+#include <cassert>
 #include <optional>
 #include <utility>
 
@@ -10,18 +11,103 @@ namespace revisim::check::detail {
 namespace {
 
 struct Frame {
-  std::vector<runtime::ProcessId> choices;  // runnable at this depth
+  std::vector<runtime::ProcessId> choices;  // entries available at this depth
   std::size_t next = 0;                     // next choice to try
 };
 
-// A world parked at a branch node: it has executed schedule[0..len) and is
-// poised to take any of the node's untried choices with a single step.
-struct ParkedWorld {
-  std::size_t len = 0;
-  std::unique_ptr<ExplorableWorld> world;
-};
+// Ledger window: parks per capacity-adaptation decision.
+constexpr std::uint64_t kAdaptWindow = 32;
+// Acquire misses before a zeroed adaptive pool re-probes parking.
+constexpr std::uint64_t kReprobeMisses = 65'536;
+constexpr std::size_t kReprobeCapacity = 2;
 
 }  // namespace
+
+WarmPool::WarmPool(std::size_t capacity, bool adaptive,
+                   std::size_t max_capacity)
+    : capacity_(std::min(capacity, max_capacity)),
+      max_capacity_(max_capacity),
+      adaptive_(adaptive) {}
+
+std::unique_ptr<ExplorableWorld> WarmPool::acquire(
+    const std::vector<runtime::ProcessId>& target, std::size_t len,
+    std::size_t* from_len) {
+  std::size_t best = entries_.size();
+  std::size_t best_len = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    const auto& applied = entries_[i]->scheduler().applied_schedule();
+    const bool live =
+        applied.size() <= len &&
+        std::equal(applied.begin(), applied.end(), target.begin());
+    if (!live) {
+      // Off the resumable path: within a job, DFS never returns to an
+      // abandoned branch, and across jobs the regions are disjoint - evict.
+      entries_[i] = std::move(entries_.back());
+      entries_.pop_back();
+      if (best == entries_.size()) {
+        best = i;  // the best candidate was relocated into slot i
+      }
+      continue;
+    }
+    if (best == entries_.size() || applied.size() > best_len) {
+      best = i;
+      best_len = applied.size();
+    }
+    ++i;
+  }
+  if (best >= entries_.size()) {
+    if (adaptive_ && capacity_ == 0 && max_capacity_ > 0 &&
+        ++misses_ >= kReprobeMisses) {
+      capacity_ = std::min(kReprobeCapacity, max_capacity_);
+      saved_ = spent_ = window_parks_ = misses_ = 0;
+    }
+    return nullptr;
+  }
+  auto world = std::move(entries_[best]);
+  entries_[best] = std::move(entries_.back());
+  entries_.pop_back();
+  *from_len = best_len;
+  saved_ += best_len;
+  return world;
+}
+
+std::unique_ptr<ExplorableWorld> WarmPool::take_at(
+    const std::vector<runtime::ProcessId>& target, std::size_t len) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& applied = entries_[i]->scheduler().applied_schedule();
+    if (applied.size() == len &&
+        std::equal(applied.begin(), applied.end(), target.begin())) {
+      auto world = std::move(entries_[i]);
+      entries_[i] = std::move(entries_.back());
+      entries_.pop_back();
+      return world;
+    }
+  }
+  return nullptr;
+}
+
+void WarmPool::park(std::unique_ptr<ExplorableWorld> world) {
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(world));
+  }
+}
+
+void WarmPool::note_spent(std::size_t steps) {
+  spent_ += steps;
+  if (++window_parks_ >= kAdaptWindow) {
+    adapt();
+  }
+}
+
+void WarmPool::adapt() {
+  if (adaptive_ && spent_ > saved_) {
+    capacity_ /= 2;  // the window ran at a realized loss
+  }
+  // Decay rather than reset: persistent trends dominate, one window cannot.
+  saved_ /= 2;
+  spent_ /= 2;
+  window_parks_ = 0;
+}
 
 void append_node_choices(const std::vector<runtime::ProcessId>& runnable,
                          std::size_t crashes_used, std::size_t max_crashes,
@@ -42,10 +128,10 @@ void append_node_choices(const std::vector<runtime::ProcessId>& runnable,
   }
 }
 
-SubtreeResult explore_subtree(
+SubtreeResult explore_job(
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
     const std::vector<runtime::ProcessId>& prefix,
-    const SubtreeOptions& options, const AbortProbe& abort) {
+    const SubtreeOptions& options, const AbortProbe& abort, JobContext* ctx) {
   SubtreeResult res;
   const std::size_t cap = std::max<std::size_t>(options.max_executions, 1);
 
@@ -61,8 +147,41 @@ SubtreeResult explore_subtree(
     }
   }
 
+  // Warm pool: the caller's persistent per-worker pool (adaptive, survives
+  // across jobs) or a job-local fixed-capacity one (the serial explorer).
+  WarmPool local_pool(ctx != nullptr && ctx->pool != nullptr
+                          ? 0
+                          : options.warm_worlds,
+                      /*adaptive=*/false, options.warm_worlds);
+  WarmPool* pool =
+      ctx != nullptr && ctx->pool != nullptr ? ctx->pool : &local_pool;
+  // Checkpoint recording makes parked worlds self-describing (and portable
+  // to other workers); skip its per-step cost when parking can never happen.
+  const bool checkpoints = pool->max_capacity() > 0;
+
   std::vector<runtime::ProcessId> schedule = prefix;
   schedule.reserve(std::max(options.max_steps, prefix.size()));
+
+  // Crash entries in `schedule`, maintained incrementally (the pre-rework
+  // engine recounted the whole schedule at every node).
+  std::size_t crashes = static_cast<std::size_t>(
+      std::count_if(schedule.begin(), schedule.end(),
+                    [](runtime::ProcessId e) {
+                      return runtime::is_crash_entry(e);
+                    }));
+  auto sched_push = [&](runtime::ProcessId e) {
+    crashes += runtime::is_crash_entry(e) ? 1 : 0;
+    schedule.push_back(e);
+  };
+  auto sched_pop = [&] {
+    crashes -= runtime::is_crash_entry(schedule.back()) ? 1 : 0;
+    schedule.pop_back();
+  };
+  auto sched_replace_back = [&](runtime::ProcessId e) {
+    crashes -= runtime::is_crash_entry(schedule.back()) ? 1 : 0;
+    crashes += runtime::is_crash_entry(e) ? 1 : 0;
+    schedule.back() = e;
+  };
 
   // Frames cover local depths only (schedule[prefix.size() + i]).  The frame
   // vector never shrinks, so `choices` buffers keep their capacity across
@@ -70,29 +189,27 @@ SubtreeResult explore_subtree(
   std::vector<Frame> stack;
   std::size_t depth = 0;
 
-  // Warm worlds parked at branch nodes of the current path, by increasing
-  // len; all of them have executed a prefix of `schedule`.
-  std::vector<ParkedWorld> pool;
-
   auto fresh_world = [&] {
     auto w = factory();
     if (!options.record_traces) {
       w->scheduler().set_recording(false);
     }
+    if (checkpoints) {
+      w->scheduler().set_checkpointing(true);
+    }
     return w;
   };
 
   // A world that has executed schedule[0..len), resuming from the deepest
-  // parked ancestor when one is available.
+  // compatible pool checkpoint when one is available.
   auto world_at = [&](std::size_t len) {
-    std::unique_ptr<ExplorableWorld> w;
     std::size_t from = 0;
-    if (!pool.empty() && pool.back().len <= len) {
-      from = pool.back().len;
-      w = std::move(pool.back().world);
-      pool.pop_back();
-    } else {
+    auto w = pool->acquire(schedule, len, &from);
+    if (w == nullptr) {
       w = fresh_world();
+      from = 0;
+    } else {
+      res.replay_steps_saved += from;
     }
     for (std::size_t i = from; i < len; ++i) {
       runtime::apply_schedule_entry(w->scheduler(), schedule[i]);
@@ -100,7 +217,15 @@ SubtreeResult explore_subtree(
     return w;
   };
 
-  auto world = world_at(prefix.size());
+  std::unique_ptr<ExplorableWorld> world;
+  if (ctx != nullptr && ctx->warm != nullptr) {
+    // A donated checkpoint: it has applied exactly `prefix`.
+    world = std::move(ctx->warm);
+    assert(world->scheduler().applied_schedule() == prefix);
+    res.replay_steps_saved += prefix.size();
+  } else {
+    world = world_at(prefix.size());
+  }
 
   // Canonical-state callback for collision audit; captures the live world by
   // reference so one std::function serves every node of the walk.  Invoked
@@ -110,12 +235,40 @@ SubtreeResult explore_subtree(
     canonical = [&world] { return world->canonical_state(); };
   }
 
+  // Offer the shallowest untried sibling suffix to the split hooks.  The
+  // donated region is everything lexicographically after the donor's
+  // remaining work within that frame's subtree, so the donor's region stays
+  // contiguous - the invariant the deterministic merge needs.
+  auto try_donate = [&] {
+    for (std::size_t i = 0; i < depth; ++i) {
+      Frame& fr = stack[i];
+      if (fr.next >= fr.choices.size()) {
+        continue;
+      }
+      const std::size_t node_len = prefix.size() + i;
+      Donation d;
+      d.prefix.assign(schedule.begin(),
+                      schedule.begin() + static_cast<std::ptrdiff_t>(node_len));
+      d.choices.assign(fr.choices.begin() + static_cast<std::ptrdiff_t>(fr.next),
+                       fr.choices.end());
+      d.warm = pool->take_at(schedule, node_len);
+      if (ctx->split.take(d)) {
+        fr.next = fr.choices.size();
+        ++res.donations;
+      } else if (d.warm != nullptr) {
+        pool->park(std::move(d.warm));  // nobody hungry after all; re-park
+      }
+      return;
+    }
+  };
+
   std::vector<runtime::ProcessId> runnable;
   for (;;) {
     // Consult the transposition table at every node strictly deeper than the
-    // prefix root.  A hit means an identical canonical state already rooted
-    // a walk (here or, with a shared table, in another worker): its subtree
-    // - executions, verdicts and all - is a replay of that one, so it is
+    // job root.  Claim-then-walk: the insert happens before the subtree is
+    // walked, so a hit means an identical canonical state already roots a
+    // walk (here or, with a shared table, in another worker): its subtree -
+    // executions, verdicts and all - is a replay of that one, and it is
     // skipped without counting an execution or evaluating a verdict.
     bool pruned = false;
     if (table != nullptr && schedule.size() > prefix.size()) {
@@ -123,11 +276,18 @@ SubtreeResult explore_subtree(
     }
     world->scheduler().runnable_into(runnable);
     const bool complete = runnable.empty();
-    if (pruned || complete || schedule.size() >= options.max_steps) {
+    const bool root_interior = schedule.size() == prefix.size() &&
+                               ctx != nullptr && ctx->root_choices != nullptr;
+    if (!root_interior &&
+        (pruned || complete || schedule.size() >= options.max_steps)) {
       if (pruned) {
         ++res.subtrees_pruned;
       } else {
         ++res.executions;
+        if (options.live_executions != nullptr) {
+          options.live_executions->store(res.executions,
+                                         std::memory_order_relaxed);
+        }
         if (auto v = world->verdict(complete)) {
           res.violation = std::move(v);
           res.witness = schedule;
@@ -141,9 +301,10 @@ SubtreeResult explore_subtree(
       // Backtrack to the deepest frame with an untried choice.  The order
       // matters for cap accounting: a walk that ends exactly at the cap with
       // nothing left to explore is exhausted, not truncated.
-      while (depth > 0 && stack[depth - 1].next >= stack[depth - 1].choices.size()) {
+      while (depth > 0 &&
+             stack[depth - 1].next >= stack[depth - 1].choices.size()) {
         --depth;
-        schedule.pop_back();
+        sched_pop();
       }
       if (depth == 0) {
         if (table != nullptr) {
@@ -159,12 +320,7 @@ SubtreeResult explore_subtree(
         return res;
       }
       Frame& f = stack[depth - 1];
-      schedule.back() = f.choices[f.next++];
-      // Parked worlds at or past the divergence point executed the old
-      // branch; shallower ones still lie on the new schedule.
-      while (!pool.empty() && pool.back().len >= schedule.size()) {
-        pool.pop_back();
-      }
+      sched_replace_back(f.choices[f.next++]);
       world = world_at(schedule.size());
       continue;
     }
@@ -173,38 +329,50 @@ SubtreeResult explore_subtree(
       stack.emplace_back();
     }
     Frame& f = stack[depth];
-    const std::size_t crashes_used =
-        options.max_crashes == 0
-            ? 0
-            : static_cast<std::size_t>(
-                  std::count_if(schedule.begin(), schedule.end(),
-                                [](runtime::ProcessId e) {
-                                  return runtime::is_crash_entry(e);
-                                }));
-    std::optional<runtime::ProcessId> prev;
-    if (!schedule.empty()) {
-      prev = schedule.back();
+    if (depth == 0 && ctx != nullptr && ctx->root_choices != nullptr) {
+      // A donated job: the split node's untried choices, verbatim.  The
+      // donor already expanded this node, so leaf/table checks are skipped
+      // above (root_interior) - by construction it branches.
+      f.choices.assign(ctx->root_choices->begin(), ctx->root_choices->end());
+    } else {
+      std::optional<runtime::ProcessId> prev;
+      if (!schedule.empty()) {
+        prev = schedule.back();
+      }
+      append_node_choices(runnable, crashes, options.max_crashes, prev,
+                          f.choices);
     }
-    append_node_choices(runnable, crashes_used, options.max_crashes, prev,
-                        f.choices);
     f.next = 1;
     ++depth;
-    const bool park = f.choices.size() >= 2 && pool.size() < options.warm_worlds;
-    schedule.push_back(f.choices[0]);
-    if (park) {
+    sched_push(f.choices[0]);
+    // One cheap steal poll per node expansion: donate the shallowest
+    // untried sibling suffix (possibly this very frame's) when another
+    // worker is hungry.
+    if (ctx != nullptr && ctx->split.want && ctx->split.want()) {
+      try_donate();
+    }
+    if (stack[depth - 1].next < stack[depth - 1].choices.size() &&
+        pool->want_park()) {
       // Keep this world warm at the branch node: the next backtrack here
       // resumes it with one step instead of a full rebuild.  The descent
-      // world is rebuilt from scratch, so parking trades replay now for
-      // replay later - it rearranges cost towards the (cheap) live path
-      // without ever exceeding the naive rebuild total.
-      pool.push_back(ParkedWorld{schedule.size() - 1, std::move(world)});
+      // world is rebuilt from scratch; the pool's ledger charges that
+      // rebuild against realized resume savings and adapts its capacity.
+      pool->park(std::move(world));
       world = fresh_world();
       for (std::size_t i = 0; i + 1 < schedule.size(); ++i) {
         runtime::apply_schedule_entry(world->scheduler(), schedule[i]);
       }
+      pool->note_spent(schedule.size() - 1);
     }
     runtime::apply_schedule_entry(world->scheduler(), schedule.back());
   }
+}
+
+SubtreeResult explore_subtree(
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const std::vector<runtime::ProcessId>& prefix,
+    const SubtreeOptions& options, const AbortProbe& abort) {
+  return explore_job(factory, prefix, options, abort, nullptr);
 }
 
 }  // namespace revisim::check::detail

@@ -1,22 +1,31 @@
 // Shared DFS engine behind explore_schedules and the parallel explorer.
 //
-// explore_subtree enumerates, in lexicographic (DFS preorder) schedule
-// order, every execution whose schedule extends a given prefix.  The serial
-// explorer is the empty-prefix instance; the parallel explorer farms one
-// instance per frontier prefix to a worker pool.  Keeping a single engine is
-// what makes the serial/parallel parity guarantee hold by construction.
+// explore_job enumerates, in lexicographic (DFS preorder) schedule order,
+// every execution whose schedule extends a given prefix - optionally
+// restricted to an explicit list of first-branch choices at the prefix node
+// (a donated stack suffix).  The serial explorer is the empty-prefix
+// instance; the work-stealing parallel explorer runs one instance per job
+// and lets busy instances *split their own stack* into new jobs through the
+// SplitHooks.  Keeping a single engine is what makes the serial/parallel
+// parity guarantee hold by construction.
 //
 // Cost model.  Coroutine worlds cannot be copied or rewound, so a world's
 // lifetime covers exactly one root-to-leaf path and evaluating E executions
 // of depth <= D necessarily costs E factory calls and up to E*D steps - the
-// replay explorer already meets that lower bound.  What this engine adds
-// are the constant-factor levers: worlds run with trace recording off
-// (Scheduler fast mode), the runnable() buffer and the DFS frames are
-// reused instead of reallocated per node, and a bounded pool of "warm"
-// worlds parked at branch nodes turns the common deepest-frame backtrack
-// into a one-step resume instead of a full rebuild.
+// replay explorer already meets that lower bound (DESIGN.md finding 7).
+// What this engine adds are the constant-factor levers: worlds run with
+// trace recording off (Scheduler fast mode), the runnable() buffer and the
+// DFS frames are reused instead of reallocated per node, and a WarmPool of
+// checkpoint worlds parked at branch nodes turns backtracks into resumes.
+// Parking is *not* free - finding 7 makes it exactly cost-neutral in steps
+// at best, and stale evictions make it a measured net loss on deep
+// low-branching trees - so the pool keeps a realized savings-vs-spend
+// ledger and, in adaptive mode, resizes itself to what the workload
+// actually earns (down to zero).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -30,6 +39,65 @@ class StateTable;
 }  // namespace revisim::check
 
 namespace revisim::check::detail {
+
+// A pool of warm checkpoint worlds.  Every entry has scheduler checkpoint
+// recording on (Scheduler::applied_schedule), so entries are portable
+// across jobs: acquire() validates an entry against the target schedule
+// before resuming it, and take_at() extracts the entry sitting at an exact
+// split node for donation to another worker.
+//
+// Adaptive mode keeps a ledger of replay steps actually saved by resumes
+// against steps spent building park replacements; when a window closes in
+// the red the capacity halves - possibly to zero, since parking is a
+// measured net loss on deep low-branching trees (the spend is immediate,
+// the saving depends on the entry being resumed before it goes stale).  A
+// zeroed pool re-probes with a small capacity after a long run of misses,
+// so a workload whose shape changes can earn parking back.
+class WarmPool {
+ public:
+  WarmPool(std::size_t capacity, bool adaptive, std::size_t max_capacity);
+
+  // Deepest entry whose applied schedule is a prefix of target[0..len).
+  // Returns null on miss; on a hit, *from_len is the entry's depth (the
+  // replay steps saved).  Entries that can no longer match the target are
+  // evicted in passing.
+  std::unique_ptr<ExplorableWorld> acquire(
+      const std::vector<runtime::ProcessId>& target, std::size_t len,
+      std::size_t* from_len);
+
+  // Entry whose applied schedule is exactly target[0..len), for warm-world
+  // donation at a split node.  Null if the pool holds none.
+  std::unique_ptr<ExplorableWorld> take_at(
+      const std::vector<runtime::ProcessId>& target, std::size_t len);
+
+  // True when a park would currently be accepted.
+  [[nodiscard]] bool want_park() const noexcept {
+    return entries_.size() < capacity_;
+  }
+  void park(std::unique_ptr<ExplorableWorld> world);
+
+  // Ledger: steps spent rebuilding a parked world's replacement.  Savings
+  // are recorded by acquire().  Each closed window adapts the capacity.
+  void note_spent(std::size_t steps);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t max_capacity() const noexcept {
+    return max_capacity_;
+  }
+  [[nodiscard]] std::uint64_t steps_saved() const noexcept { return saved_; }
+
+ private:
+  void adapt();
+
+  std::vector<std::unique_ptr<ExplorableWorld>> entries_;
+  std::size_t capacity_;
+  std::size_t max_capacity_;
+  bool adaptive_;
+  std::uint64_t saved_ = 0;
+  std::uint64_t spent_ = 0;
+  std::uint64_t window_parks_ = 0;
+  std::uint64_t misses_ = 0;  // acquire misses while the pool is zeroed
+};
 
 struct SubtreeOptions {
   std::size_t max_steps = 64;            // depth bound, prefix included
@@ -45,14 +113,17 @@ struct SubtreeOptions {
   // disables crash branching and reproduces the crash-free explorer.
   std::size_t max_crashes = 0;
   // Transposition pruning: consult a visited-state table at every node
-  // strictly deeper than the prefix root and skip subtrees rooted at states
-  // already seen.  Verdict-preserving by construction (equal states generate
-  // identical subtrees), but `executions` and the reported witness may
-  // legitimately differ from an undeduped walk - a violation first reached
-  // through a pruned transposition is reported through the schedule that
-  // visited its state first.  The prefix root itself is never consulted:
-  // the parallel explorer's generation walk inserts job-root states, so a
-  // root check would make every job prune itself.
+  // strictly deeper than the job root and skip subtrees rooted at states
+  // already seen.  The insert is claim-then-walk: the fingerprint goes in
+  // *before* the subtree is walked, so with a shared table a racing worker
+  // observes the claim and prunes instead of re-exploring.  Verdict-
+  // preserving by construction (equal states generate identical subtrees),
+  // but `executions` and the reported witness may legitimately differ from
+  // an undeduped walk - a violation first reached through a pruned
+  // transposition is reported through the schedule that visited its state
+  // first.  The job root itself is never consulted: it was claimed by
+  // whoever arrived at it first (the donor, for stolen jobs; nobody, for
+  // the global root), so a root check would make every job prune itself.
   bool dedupe_states = false;
   // Retain full canonical states and fail loudly on a 128-bit collision
   // (only read when this call creates its own table, i.e. `table == null`).
@@ -60,6 +131,46 @@ struct SubtreeOptions {
   // Shared table (parallel explorer).  Null with dedupe_states set means
   // the walk creates a private table for its own lifetime.
   StateTable* table = nullptr;
+  // Live execution counter, published after every counted execution.  The
+  // parallel explorer sums these across lexicographically earlier jobs to
+  // bound the serial execution count before a job - the cap coupling that
+  // lets capped searches abort provably-unreadable work.
+  std::atomic<std::uint64_t>* live_executions = nullptr;
+};
+
+// A donated stack suffix: all untried choices of the donor's shallowest
+// branching frame, packaged as an independent job.  `prefix` is the path to
+// the split node; `choices` are its untried schedule entries in DFS order
+// (so the donated region is a contiguous lexicographic suffix of the
+// donor's region - the invariant the deterministic merge rests on).
+// `warm`, when present, is a checkpoint world that has applied exactly
+// `prefix` (checkpoint recording on), saving the thief the root replay.
+struct Donation {
+  std::vector<runtime::ProcessId> prefix;
+  std::vector<runtime::ProcessId> choices;
+  std::unique_ptr<ExplorableWorld> warm;
+};
+
+// Work-stealing hooks, polled once per node expansion.  `want` must be
+// cheap (an atomic hint load); when it returns true the engine carves off
+// the shallowest untried sibling suffix and offers it to `take`, which
+// returns true to accept (the donor then skips those choices) or false to
+// decline (the donor keeps them; `donation` is handed back untouched except
+// that the caller must re-park `donation.warm` if it was populated - the
+// engine does this itself).
+struct SplitHooks {
+  std::function<bool()> want;
+  std::function<bool(Donation&)> take;
+};
+
+// Per-job context beyond the plain options: an explicit first-branch choice
+// list (for donated jobs), an optional warm start world that has applied
+// exactly `prefix`, a persistent per-worker pool, and the split hooks.
+struct JobContext {
+  const std::vector<runtime::ProcessId>* root_choices = nullptr;
+  std::unique_ptr<ExplorableWorld> warm;
+  WarmPool* pool = nullptr;  // null: the engine builds a fixed local pool
+  SplitHooks split;
 };
 
 struct SubtreeResult {
@@ -75,13 +186,23 @@ struct SubtreeResult {
   // Distinct states in the consulted table when the walk ended (a global
   // snapshot if the table was shared; 0 with dedupe off).
   std::size_t states_seen = 0;
+  std::size_t donations = 0;                 // jobs split off via SplitHooks
+  std::uint64_t replay_steps_saved = 0;      // steps skipped via warm worlds
 };
 
 // Polled between executions; returning true abandons the walk (the caller
-// discards the result).  Used by the parallel explorer to cancel subtrees
-// that can no longer affect the merged outcome.
+// decides whether the partial result is usable).  Used by the parallel
+// explorer to cancel subtrees that can no longer affect the merged outcome
+// and to enforce the wall-clock limit.
 using AbortProbe = std::function<bool()>;
 
+// Full engine entry point.  `ctx` may be null (plain subtree walk).
+SubtreeResult explore_job(
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const std::vector<runtime::ProcessId>& prefix, const SubtreeOptions& options,
+    const AbortProbe& abort = {}, JobContext* ctx = nullptr);
+
+// Back-compat convenience: explore_job with no context.
 SubtreeResult explore_subtree(
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
     const std::vector<runtime::ProcessId>& prefix, const SubtreeOptions& options,
@@ -90,7 +211,7 @@ SubtreeResult explore_subtree(
 // Appends to `out` the schedule entries available at a node whose runnable
 // set is `runnable`: first one plain step entry per runnable process, then -
 // when `crashes_used < max_crashes` - one crash entry per runnable process.
-// Both the serial engine and the parallel explorer's frontier generation
+// Both the serial engine and the parallel explorer's split/donation path
 // build choices through this, so crash-extended exploration keeps the
 // serial/parallel parity guarantee by construction.
 //

@@ -47,6 +47,8 @@ ScheduleExploreResult explore_schedules(
   res.witness = std::move(sr.witness);
   res.states_seen = sr.states_seen;
   res.subtrees_pruned = sr.subtrees_pruned;
+  res.jobs = 1;
+  res.replay_steps_saved = sr.replay_steps_saved;
   return res;
 }
 

@@ -5,13 +5,14 @@
 // schedule prefix step by step, inspects which processes are runnable, and
 // backtracks.  Exploration runs on the scheduler's fast mode (no trace
 // recording) with warm-world checkpoints, and the companion parallel
-// explorer (src/check/parallel_explore.h) farms independent subtrees to a
-// worker pool, so instances well beyond the historical "two or three
+// explorer (src/check/parallel_explore.h) splits the search across a
+// work-stealing worker pool, so instances well beyond the historical "two or three
 // processes, a handful of operations" ceiling are in reach - the strongest
 // evidence the reproduction has for the augmented snapshot's §3.3
 // properties, complementing the per-execution linearizer.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -111,6 +112,16 @@ struct ScheduleExploreResult {
   // Transposition-table statistics (0 with dedupe_states off).
   std::size_t states_seen = 0;       // distinct canonical states recorded
   std::size_t subtrees_pruned = 0;   // subtrees skipped as already-seen
+  // Work-distribution statistics.  The serial explorer is one job and never
+  // steals; the parallel explorer counts every schedule-prefix job its
+  // stack-splitting created and every job claimed by a worker other than
+  // its donor.  `replay_steps_saved` totals the schedule entries skipped by
+  // resuming warm checkpoint worlds instead of replaying from scratch
+  // (donated warm worlds included) - the explorer's one lever under the
+  // replay cost model.
+  std::size_t jobs = 0;
+  std::size_t steals = 0;
+  std::uint64_t replay_steps_saved = 0;
   // Graceful-degradation summary (parallel explorer only; the serial
   // explorer propagates exceptions and has no wall clock).  `error` carries
   // the message of a worker job that kept throwing past its retry budget;

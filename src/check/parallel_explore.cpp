@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -11,6 +12,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "src/check/explore_core.h"
 #include "src/check/state_table.h"
@@ -18,114 +20,308 @@
 namespace revisim::check {
 namespace {
 
+using Clock = std::chrono::steady_clock;
 using runtime::ProcessId;
 
-// One entry of the lexicographically ordered frontier: either a leaf that
-// was reached (and judged) above the frontier during generation, or the
-// root prefix of a subtree job.
-struct FrontierItem {
-  bool is_job = false;
-  std::vector<ProcessId> schedule;            // job prefix, or leaf schedule
-  std::optional<std::string> leaf_violation;  // for generation-phase leaves
+// Lexicographic region order.  A job's key is its schedule prefix followed
+// by its first choice - the lex-smallest schedule of its region, as a
+// prefix.  Regions are disjoint contiguous intervals and a key that
+// prefixes another belongs to the region that starts first (the donor's
+// remaining work precedes everything it donates), so shorter-prefix-first
+// lexicographic comparison is exactly serial DFS order.  Crash entries
+// carry the top bit (runtime::make_crash_entry) and numerically sort after
+// every step entry, matching append_node_choices' enumeration order.
+bool key_less(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+struct JobRecord {
+  enum State : int { kPending, kRunning, kDone, kFailed, kAborted };
+
+  std::vector<ProcessId> key;      // prefix + first choice; see key_less
+  std::vector<ProcessId> prefix;   // path to the job's root node
+  std::vector<ProcessId> choices;  // untried choices there; empty = all (root)
+  std::unique_ptr<ExplorableWorld> warm;  // donated checkpoint at `prefix`
+  std::size_t donor = 0;           // worker that split this job off
+  bool donated = false;            // false only for the seed job
+  State state = kPending;          // guarded by the coordinator mutex
+  // Executions counted so far, published live by the engine.  Summing the
+  // counters of lexicographically earlier records lower-bounds the serial
+  // execution count before this record's region (each counter never exceeds
+  // its region's serial total), which is what keeps cap-skipping sound.
+  std::atomic<std::uint64_t> live_execs{0};
+  detail::SubtreeResult result;    // valid once state == kDone
+  std::string error;               // valid once state == kFailed
 };
 
-// Serial DFS down to `frontier` emitting items in lexicographic schedule
-// order - exactly the order the serial explorer would encounter them.
-// Generation stops at the first violating shallow leaf: no later item can
-// affect the merged result (the merge returns at or before it).
-//
-// Choices at every node come from detail::append_node_choices, the same
-// builder the subtree engine uses, so crash-branching prefixes are
-// enumerated in exactly the serial order too.
-//
-// With a transposition table, the walk inserts every node below the root
-// (the empty schedule is skipped: it roots the whole search and recurs
-// nowhere) and prunes already-seen states before emitting them - so every
-// job root is in the table before its job runs, and explore_subtree's
-// strictly-below-the-prefix rule is what keeps jobs from pruning themselves.
-std::vector<FrontierItem> generate_frontier(
-    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
-    std::size_t frontier, const ScheduleExploreOptions& options,
-    StateTable* table) {
-  std::vector<FrontierItem> items;
-  struct Frame {
-    std::vector<ProcessId> choices;
-    std::size_t next = 0;
-  };
-  std::vector<Frame> stack;
-  std::vector<ProcessId> schedule;
+// Everything the workers share, guarded by `mu` unless noted.
+struct Coordinator {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::unique_ptr<JobRecord>> records;  // append-only
+  std::size_t pending = 0;
+  std::size_t running = 0;
+  std::size_t hungry = 0;  // workers blocked waiting for a job
+  bool stop = false;       // deadline fired; claim nothing further
+  // Key of the lex-smallest violation found so far (empty = none), with a
+  // lock-free has-a-violation gate so probes stay cheap until one exists.
+  std::vector<ProcessId> violation_key;
+  std::atomic<std::uint64_t> violation_version{0};
+  // Lock-free mirror of `hungry` polled by donors once per node expansion.
+  std::atomic<int> hungry_hint{0};
+  std::atomic<std::size_t> steals{0};
 
-  auto make_world = [&] {
-    auto world = factory();
-    if (!options.record_traces) {
-      world->scheduler().set_recording(false);
+  // Sum of live execution counters over records lex-before `key`.  Caller
+  // holds `mu` (the records vector may be growing).
+  std::uint64_t bound_before(const std::vector<ProcessId>& key) const {
+    std::uint64_t sum = 0;
+    for (const auto& r : records) {
+      if (key_less(r->key, key)) {
+        sum += r->live_execs.load(std::memory_order_relaxed);
+      }
     }
-    for (ProcessId entry : schedule) {
-      runtime::apply_schedule_entry(world->scheduler(), entry);
-    }
-    return world;
-  };
-
-  auto world = make_world();
-  std::function<std::string()> canonical;
-  if (table != nullptr && table->audit()) {
-    canonical = [&world] { return world->canonical_state(); };
+    return sum;
   }
-  std::vector<ProcessId> runnable;
+};
+
+void run_one_worker(Coordinator& co, std::size_t worker_id,
+                    const std::function<std::unique_ptr<ExplorableWorld>()>&
+                        factory,
+                    const ParallelExploreOptions& options, StateTable* table,
+                    std::uint64_t cap,
+                    const std::optional<Clock::time_point>& deadline) {
+  // Per-worker warm pool: persists across every job this worker runs,
+  // adapts its capacity to what checkpoint resumption actually earns here.
+  detail::WarmPool pool(options.base.warm_worlds, /*adaptive=*/true,
+                        options.base.warm_worlds);
+  auto past_deadline = [&] { return deadline && Clock::now() >= *deadline; };
+
+  std::unique_lock<std::mutex> lk(co.mu);
   for (;;) {
-    bool pruned = false;
-    if (table != nullptr && !schedule.empty()) {
-      pruned = !table->insert(world->fingerprint(), canonical);
+    // Claim the lexicographically earliest pending job: earlier regions
+    // finish earlier, which tightens every later job's cap bound and lets a
+    // violation cut the most work.
+    JobRecord* rec = nullptr;
+    while (!co.stop) {
+      if (past_deadline()) {
+        co.stop = true;
+        co.cv.notify_all();
+        break;
+      }
+      for (const auto& r : co.records) {
+        if (r->state == JobRecord::kPending &&
+            (rec == nullptr || key_less(r->key, rec->key))) {
+          rec = r.get();
+        }
+      }
+      if (rec != nullptr || (co.pending == 0 && co.running == 0)) {
+        break;
+      }
+      ++co.hungry;
+      co.hungry_hint.fetch_add(1, std::memory_order_relaxed);
+      if (deadline) {
+        if (co.cv.wait_until(lk, *deadline) == std::cv_status::timeout) {
+          co.stop = true;
+          co.cv.notify_all();
+        }
+      } else {
+        co.cv.wait(lk);
+      }
+      --co.hungry;
+      co.hungry_hint.fetch_sub(1, std::memory_order_relaxed);
     }
-    world->scheduler().runnable_into(runnable);
-    const bool complete = runnable.empty();
-    const bool at_leaf = complete || schedule.size() >= options.max_steps;
-    if (pruned || at_leaf || schedule.size() >= frontier) {
-      if (!pruned) {
-        FrontierItem item;
-        item.schedule = schedule;
-        if (at_leaf) {
-          item.leaf_violation = world->verdict(complete);
-        } else {
-          item.is_job = true;
-        }
-        const bool stop = item.leaf_violation.has_value();
-        items.push_back(std::move(item));
-        if (stop) {
-          return items;
-        }
+    if (rec == nullptr || co.stop) {
+      co.cv.notify_all();  // cascade termination to the other waiters
+      return;
+    }
+    rec->state = JobRecord::kRunning;
+    --co.pending;
+    ++co.running;
+    if (rec->donated && rec->donor != worker_id) {
+      co.steals.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Pre-skip jobs whose result the merge provably cannot read: the merge
+    // returns at or before a secured lex-earlier violation, and it returns
+    // once cumulative executions reach the cap, which the bound
+    // lower-bounds.
+    const std::uint64_t before = co.bound_before(rec->key);
+    const bool dead_key =
+        co.violation_version.load(std::memory_order_relaxed) != 0 &&
+        key_less(co.violation_key, rec->key);
+    if (before >= cap || dead_key) {
+      rec->state = JobRecord::kAborted;
+      --co.running;
+      if (co.pending == 0 && co.running == 0) {
+        co.cv.notify_all();
       }
-      while (!stack.empty() &&
-             stack.back().next >= stack.back().choices.size()) {
-        stack.pop_back();
-        schedule.pop_back();
-      }
-      if (stack.empty()) {
-        return items;
-      }
-      schedule.back() = stack.back().choices[stack.back().next++];
-      world = make_world();
       continue;
     }
-    const std::size_t crashes_used =
-        options.max_crashes == 0
-            ? 0
-            : static_cast<std::size_t>(
-                  std::count_if(schedule.begin(), schedule.end(),
-                                [](ProcessId e) {
-                                  return runtime::is_crash_entry(e);
-                                }));
-    std::optional<ProcessId> prev;
-    if (!schedule.empty()) {
-      prev = schedule.back();
+
+    detail::SubtreeOptions sub;
+    sub.max_steps = options.base.max_steps;
+    sub.max_executions = static_cast<std::size_t>(cap - before);
+    sub.record_traces = options.base.record_traces;
+    sub.warm_worlds = options.base.warm_worlds;
+    sub.dedupe_states = options.base.dedupe_states;
+    sub.max_crashes = options.base.max_crashes;
+    sub.table = table;
+    sub.live_executions = &rec->live_execs;
+
+    auto abort = [&co, rec, cap, &past_deadline] {
+      if (past_deadline()) {
+        return true;
+      }
+      std::lock_guard<std::mutex> g(co.mu);
+      if (co.violation_version.load(std::memory_order_relaxed) != 0 &&
+          key_less(co.violation_key, rec->key)) {
+        return true;
+      }
+      return co.bound_before(rec->key) >= cap;
+    };
+
+    lk.unlock();
+    bool done = false;
+    std::string failure;
+    detail::SubtreeResult jr;
+    for (std::size_t attempt = 0;
+         attempt <= options.job_retries && !done && !past_deadline();
+         ++attempt) {
+      // A fresh attempt replays the whole region from scratch; wind the
+      // live counter back so the cap bound never double-counts.
+      rec->live_execs.store(0, std::memory_order_relaxed);
+      std::size_t donated_this_attempt = 0;
+      detail::JobContext ctx;
+      if (!rec->choices.empty()) {
+        ctx.root_choices = &rec->choices;
+      }
+      ctx.warm = std::move(rec->warm);  // first attempt only; then null
+      ctx.pool = &pool;
+      ctx.split.want = [&co] {
+        return co.hungry_hint.load(std::memory_order_relaxed) > 0;
+      };
+      ctx.split.take = [&co, worker_id,
+                        &donated_this_attempt](detail::Donation& d) {
+        std::lock_guard<std::mutex> g(co.mu);
+        if (co.stop || co.hungry <= co.pending) {
+          return false;  // nobody actually starving; donor keeps the work
+        }
+        auto child = std::make_unique<JobRecord>();
+        child->key = d.prefix;
+        child->key.push_back(d.choices[0]);
+        child->prefix = std::move(d.prefix);
+        child->choices = std::move(d.choices);
+        child->warm = std::move(d.warm);
+        child->donor = worker_id;
+        child->donated = true;
+        co.records.push_back(std::move(child));
+        ++co.pending;
+        ++donated_this_attempt;
+        co.cv.notify_one();
+        return true;
+      };
+      try {
+        jr = detail::explore_job(factory, rec->prefix, sub, abort, &ctx);
+        done = true;
+      } catch (const std::exception& e) {
+        failure = e.what();
+      } catch (...) {
+        failure = "unknown exception";
+      }
+      if (!done && donated_this_attempt > 0) {
+        break;  // a retry would re-explore the regions already donated
+      }
     }
-    std::vector<ProcessId> choices;
-    detail::append_node_choices(runnable, crashes_used, options.max_crashes,
-                                prev, choices);
-    stack.push_back(Frame{std::move(choices), 1});
-    schedule.push_back(stack.back().choices[0]);
-    runtime::apply_schedule_entry(world->scheduler(), schedule.back());
+    lk.lock();
+    if (done) {
+      rec->live_execs.store(jr.executions, std::memory_order_relaxed);
+      if (jr.violation &&
+          (co.violation_version.load(std::memory_order_relaxed) == 0 ||
+           key_less(rec->key, co.violation_key))) {
+        co.violation_key = rec->key;
+        co.violation_version.fetch_add(1, std::memory_order_relaxed);
+      }
+      rec->result = std::move(jr);
+      // Partial walks (deadline / cap / violation aborts) are stored as
+      // kDone too: the merge either never reads them (cap- and
+      // violation-aborted regions sit past its return point) or reports
+      // the truncation they represent (deadline).
+      rec->state = JobRecord::kDone;
+    } else if (!failure.empty()) {
+      rec->error = failure;
+      rec->state = JobRecord::kFailed;
+    } else {
+      // The deadline expired before any attempt completed or threw; the
+      // job effectively never ran.  The merge reports the timeout.
+      rec->state = JobRecord::kPending;
+      ++co.pending;
+    }
+    --co.running;
+    co.cv.notify_all();  // wake waiters: new bound, or termination
   }
+}
+
+// threads == 1: the serial engine inline, with the parallel explorer's
+// retry and wall-clock envelopes but none of its machinery.  Bit-identical
+// to explore_schedules by construction (same engine, same options).
+ScheduleExploreResult explore_inline(
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const ParallelExploreOptions& options,
+    const std::optional<Clock::time_point>& deadline) {
+  auto past_deadline = [&] { return deadline && Clock::now() >= *deadline; };
+  detail::SubtreeOptions sub;
+  sub.max_steps = options.base.max_steps;
+  sub.max_executions = options.base.max_executions;
+  sub.record_traces = options.base.record_traces;
+  sub.warm_worlds = options.base.warm_worlds;
+  sub.dedupe_states = options.base.dedupe_states;
+  sub.dedupe_audit = options.base.dedupe_audit;
+  sub.max_crashes = options.base.max_crashes;
+  detail::AbortProbe abort;
+  if (deadline) {
+    abort = past_deadline;
+  }
+
+  bool done = false;
+  std::string failure;
+  detail::SubtreeResult sr;
+  for (std::size_t attempt = 0;
+       attempt <= options.job_retries && !done && !past_deadline();
+       ++attempt) {
+    try {
+      sr = detail::explore_subtree(factory, {}, sub, abort);
+      done = true;
+    } catch (const std::exception& e) {
+      failure = e.what();
+    } catch (...) {
+      failure = "unknown exception";
+    }
+  }
+
+  ScheduleExploreResult res;
+  res.jobs = 1;
+  if (!done) {
+    res.exhausted = false;
+    if (failure.empty()) {
+      res.timed_out = true;  // the deadline expired before any attempt ended
+    } else {
+      res.error = "subtree job failed after " +
+                  std::to_string(options.job_retries + 1) + " attempt(s): " +
+                  failure;
+    }
+    return res;
+  }
+  res.executions = sr.executions;
+  res.exhausted = sr.fully_explored;
+  res.violation = std::move(sr.violation);
+  res.witness = std::move(sr.witness);
+  res.states_seen = sr.states_seen;
+  res.subtrees_pruned = sr.subtrees_pruned;
+  res.replay_steps_saved = sr.replay_steps_saved;
+  if (!sr.fully_explored && past_deadline()) {
+    res.timed_out = true;
+  }
+  return res;
 }
 
 }  // namespace
@@ -134,258 +330,147 @@ ScheduleExploreResult parallel_explore_schedules(
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
     const ParallelExploreOptions& options) {
   validate(options.base);
-  const std::size_t cap = std::max<std::size_t>(options.base.max_executions, 1);
-  const std::size_t frontier =
-      std::min(options.frontier_depth, options.base.max_steps);
-  using Clock = std::chrono::steady_clock;
+  const std::uint64_t cap =
+      std::max<std::uint64_t>(options.base.max_executions, 1);
   const std::optional<Clock::time_point> deadline =
       options.time_limit.count() > 0
           ? std::optional<Clock::time_point>(Clock::now() + options.time_limit)
           : std::nullopt;
-  auto past_deadline = [&] { return deadline && Clock::now() >= *deadline; };
 
-  // One transposition table shared by the generation walk and every worker.
+  std::size_t threads = options.threads != 0
+                            ? options.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  if (threads == 1) {
+    return explore_inline(factory, options, deadline);
+  }
+  // Workers beyond the core count cannot run subtrees faster, they only
+  // interleave them - the measured failure mode of the pre-rework
+  // frontier-split explorer.  Tests opt out to force steals anywhere.
+  std::size_t workers =
+      options.oversubscribe
+          ? threads
+          : std::min<std::size_t>(
+                threads, std::max(1u, std::thread::hardware_concurrency()));
+
+  // One transposition table shared by every worker (lock-free CAS inserts;
+  // a mutex only in audit mode).
   std::unique_ptr<StateTable> table;
   if (options.base.dedupe_states) {
     table = std::make_unique<StateTable>(
         StateTable::Options{.audit = options.base.dedupe_audit});
   }
 
-  auto items = generate_frontier(factory, frontier, options.base, table.get());
+  Coordinator co;
+  {
+    auto seed = std::make_unique<JobRecord>();  // the whole tree; empty key
+    co.records.push_back(std::move(seed));
+    co.pending = 1;
+  }
 
-  std::vector<std::size_t> job_items;  // item indices that are jobs
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].is_job) {
-      job_items.push_back(i);
+  auto worker_fn = [&](std::size_t id) {
+    run_one_worker(co, id, factory, options, table.get(), cap, deadline);
+  };
+  if (workers == 1) {
+    // Clamped to one worker: the stealing runtime with no second thread -
+    // nobody is ever hungry, so no donations, no steals, one job.
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+      pool.emplace_back(worker_fn, t);
+    }
+    for (auto& t : pool) {
+      t.join();
     }
   }
 
-  std::vector<detail::SubtreeResult> job_results(items.size());
-  // Non-empty = the job failed every attempt; the message is the last
-  // exception's what().  The merge degrades to a partial summary there.
-  std::vector<std::string> job_failed(items.size());
-  // executions + 1 per completed item (0 = never completed).  Read by the
-  // cap-coupling prefix during the run and by the merge afterwards to tell
-  // deadline-skipped jobs apart from completed ones.
-  std::vector<std::atomic<std::uint64_t>> item_done(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!items[i].is_job) {
-      item_done[i].store(2, std::memory_order_relaxed);  // 1 execution
-    }
+  // Deterministic merge: sort the records by region key and replay the
+  // serial explorer's accounting over them in order.  Steal timing and
+  // worker interleaving influenced only results the merge never reads
+  // (with dedupe off; with it on, the shared table makes counts
+  // interleaving-dependent - see the header).  Table statistics are global
+  // and attach to every return path, as do the stealing counters.
+  std::vector<JobRecord*> order;
+  order.reserve(co.records.size());
+  for (const auto& r : co.records) {
+    order.push_back(r.get());
   }
+  std::sort(order.begin(), order.end(),
+            [](const JobRecord* a, const JobRecord* b) {
+              return key_less(a->key, b->key);
+            });
 
-  if (!job_items.empty()) {
-    std::size_t threads = options.threads != 0
-                              ? options.threads
-                              : std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min(threads, job_items.size());
-
-    std::atomic<std::size_t> next_job{0};
-    // Item index of the *first found* violating job; a monotone min.  Jobs
-    // with larger indices can never be read by the merge (it returns at or
-    // before this index), so they are skipped or aborted - an optimization
-    // that cannot change the merged output.
-    std::atomic<std::size_t> first_violation{items.size()};
-
-    // Global cap coupling.  Serially the cap bounds total work, but an
-    // isolated job only knows its local cap, so a capped search over a huge
-    // tree would still enumerate every subtree.  Workers therefore advance
-    // a shared lexicographic prefix of *completed* items and its cumulative
-    // execution count, packed (index, executions) into one atomic word.
-    // For a job at item i the quantity prefix_cum + (i - prefix_idx) is a
-    // sound lower bound on the serial execution count before i (every item
-    // holds at least one execution; a failed job holds zero, which only
-    // lowers the bound and keeps it sound), so once the bound reaches the
-    // cap the merge provably returns before reading i and the job can be
-    // skipped or aborted - again without any effect on the merged output.
-    std::mutex prefix_mu;
-    std::atomic<std::uint64_t> prefix_state{0};
-    auto pack = [](std::uint64_t idx, std::uint64_t cum) {
-      return (cum << 32) | idx;
-    };
-    auto advance_prefix = [&] {
-      std::lock_guard<std::mutex> lock(prefix_mu);
-      std::uint64_t state = prefix_state.load(std::memory_order_relaxed);
-      std::uint64_t idx = state & 0xffffffffu;
-      std::uint64_t cum = state >> 32;
-      // Clamp so the (index, executions) packing never overflows 32 bits;
-      // bounds stay sound (clamping only lowers them).
-      const std::uint64_t cum_limit =
-          std::min<std::uint64_t>(cap, 0xffffffffu);
-      while (idx < items.size() && cum < cum_limit) {
-        const std::uint64_t v = item_done[idx].load(std::memory_order_relaxed);
-        if (v == 0) {
-          break;
-        }
-        cum = std::min(cum + (v - 1), cum_limit);
-        ++idx;
-      }
-      prefix_state.store(pack(idx, cum), std::memory_order_relaxed);
-    };
-    auto bound_before = [&](std::size_t item_idx) -> std::uint64_t {
-      const std::uint64_t state = prefix_state.load(std::memory_order_relaxed);
-      const std::uint64_t idx = state & 0xffffffffu;
-      const std::uint64_t cum = state >> 32;
-      return idx <= item_idx ? cum + (item_idx - idx) : cum;
-    };
-
-    auto worker = [&] {
-      for (;;) {
-        if (past_deadline()) {
-          return;  // pending jobs stay unran; the merge reports the timeout
-        }
-        const std::size_t j = next_job.fetch_add(1, std::memory_order_relaxed);
-        if (j >= job_items.size()) {
-          return;
-        }
-        const std::size_t item_idx = job_items[j];
-        if (item_idx > first_violation.load(std::memory_order_relaxed) ||
-            bound_before(item_idx) >= cap) {
-          continue;  // the merge returns before this item; result unread
-        }
-        detail::SubtreeOptions sub;
-        sub.max_steps = options.base.max_steps;
-        const std::uint64_t before = bound_before(item_idx);
-        sub.max_executions = cap > before ? cap - before : 1;
-        sub.record_traces = options.base.record_traces;
-        sub.warm_worlds = options.base.warm_worlds;
-        sub.dedupe_states = options.base.dedupe_states;
-        sub.max_crashes = options.base.max_crashes;
-        sub.table = table.get();
-        auto abort = [&, item_idx] {
-          return item_idx > first_violation.load(std::memory_order_relaxed) ||
-                 bound_before(item_idx) >= cap || past_deadline();
-        };
-        // Bounded retries: exploration is deterministic replay, so only
-        // transient failures (resource exhaustion) are recoverable; a
-        // deterministic throw exhausts the budget and marks the job failed
-        // instead of tearing the whole search down.
-        bool done = false;
-        std::string failure;
-        for (std::size_t attempt = 0;
-             attempt <= options.job_retries && !done && !past_deadline();
-             ++attempt) {
-          try {
-            auto jr = detail::explore_subtree(factory,
-                                              items[item_idx].schedule, sub,
-                                              abort);
-            if (jr.violation) {
-              std::size_t cur = first_violation.load(std::memory_order_relaxed);
-              while (item_idx < cur && !first_violation.compare_exchange_weak(
-                                           cur, item_idx,
-                                           std::memory_order_relaxed)) {
-              }
-            }
-            job_results[item_idx] = std::move(jr);
-            item_done[item_idx].store(job_results[item_idx].executions + 1,
-                                      std::memory_order_release);
-            done = true;
-          } catch (const std::exception& e) {
-            failure = e.what();
-          } catch (...) {
-            failure = "unknown exception";
-          }
-        }
-        if (!done && !failure.empty()) {
-          job_failed[item_idx] = std::move(failure);
-          item_done[item_idx].store(1, std::memory_order_release);  // 0 execs
-        }
-        if (done || !job_failed[item_idx].empty()) {
-          advance_prefix();
-        }
-      }
-    };
-
-    if (threads <= 1) {
-      worker();
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (std::size_t t = 0; t < threads; ++t) {
-        pool.emplace_back(worker);
-      }
-      for (auto& t : pool) {
-        t.join();
-      }
-    }
-  }
-
-  // Deterministic merge: replay the serial explorer's accounting over the
-  // lexicographically ordered items.  Thread count and worker interleaving
-  // influenced only results the merge never reads (with dedupe off; with it
-  // on, the shared table makes counts interleaving-dependent - see the
-  // header).  Table statistics are global and attach to every return path.
   ScheduleExploreResult res;
+  res.jobs = co.records.size();
+  res.steals = co.steals.load(std::memory_order_relaxed);
+  for (const JobRecord* r : order) {
+    if (r->state == JobRecord::kDone) {
+      res.replay_steps_saved += r->result.replay_steps_saved;
+    }
+  }
   if (table) {
     res.states_seen = table->states();
     res.subtrees_pruned = table->hits();
   }
-  std::size_t cum = 0;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!job_failed[i].empty()) {
-      // The job threw past its retry budget.  Everything before it merged
-      // normally; report the partial summary instead of rethrowing.
-      res.executions = cum;
+
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    JobRecord& r = *order[i];
+    if (r.state == JobRecord::kFailed) {
+      // The job threw past its retry budget (or donated mid-failure).
+      // Everything before it merged normally; report the partial summary
+      // instead of rethrowing.
+      res.executions = static_cast<std::size_t>(cum);
       res.exhausted = false;
       res.error = "subtree job failed after " +
                   std::to_string(options.job_retries + 1) + " attempt(s): " +
-                  job_failed[i];
+                  r.error;
       return res;
     }
-    if (items[i].is_job &&
-        item_done[i].load(std::memory_order_acquire) == 0) {
-      // The job never ran.  The merge returns strictly before every item
-      // skipped for violation or cap reasons, so reaching an unran item
-      // here means the wall-clock limit expired: report the partial
-      // summary rather than waiting on work that will never arrive.
-      res.executions = cum;
+    if (r.state != JobRecord::kDone) {
+      // Never ran (kPending) or was pre-skipped (kAborted).  The merge
+      // returns strictly before every record skipped for violation or cap
+      // reasons, so reaching one here means the wall-clock limit expired:
+      // report the partial summary rather than waiting on work that will
+      // never arrive.
+      res.executions = static_cast<std::size_t>(cum);
       res.exhausted = false;
       res.timed_out = true;
       return res;
     }
-    std::size_t n = 1;
-    bool fully = true;
-    std::optional<std::string> violation;
-    std::size_t violation_index = 1;
-    std::vector<ProcessId>* witness = &items[i].schedule;
-    if (items[i].is_job) {
-      detail::SubtreeResult& jr = job_results[i];
-      n = jr.executions;
-      fully = jr.fully_explored;
-      violation = jr.violation;
-      violation_index = jr.violation_index;
-      witness = &jr.witness;
-    } else {
-      violation = items[i].leaf_violation;
-    }
-    if (violation && cum + violation_index <= cap) {
-      res.executions = cum + violation_index;
-      res.violation = std::move(violation);
-      res.witness = std::move(*witness);
+    const detail::SubtreeResult& jr = r.result;
+    const std::uint64_t n = jr.executions;
+    if (jr.violation && cum + jr.violation_index <= cap) {
+      res.executions = static_cast<std::size_t>(cum + jr.violation_index);
+      res.violation = jr.violation;
+      res.witness = jr.witness;
       return res;  // exhausted stays true, as in the serial explorer
     }
     if (cum + n >= cap) {
       // The serial walk reaches the cap inside (or exactly at the end of)
-      // this item.  It is a truncation iff any work would have remained:
-      // a violation past the cap, a locally truncated subtree, executions
-      // beyond the cap, or any later item (each holds >= 1 execution).
-      const bool truncated = violation.has_value() || !fully ||
-                             cum + n > cap || i + 1 < items.size();
-      res.executions = cap;
+      // this region.  It is a truncation iff any work would have remained:
+      // a violation past the cap, a locally truncated walk, executions
+      // beyond the cap, or any later record (every region holds >= 1
+      // execution).
+      const bool truncated = jr.violation.has_value() || !jr.fully_explored ||
+                             cum + n > cap || i + 1 < order.size();
+      res.executions = static_cast<std::size_t>(cap);
       res.exhausted = !truncated;
       return res;
     }
-    if (!fully) {
+    if (!jr.fully_explored) {
       // Below the cap only a wall-clock abort leaves a merged job partially
-      // explored (violation- and cap-skips are returned before, above).
-      res.executions = cum + n;
+      // explored (violation- and cap-aborted records sit past the merge's
+      // return point, handled above).
+      res.executions = static_cast<std::size_t>(cum + n);
       res.exhausted = false;
       res.timed_out = true;
       return res;
     }
     cum += n;
   }
-  res.executions = cum;
+  res.executions = static_cast<std::size_t>(cum);
   res.exhausted = true;
   return res;
 }

@@ -1,5 +1,9 @@
 #include "src/check/state_table.h"
 
+#include <cstdlib>
+#include <new>
+#include <thread>
+
 namespace revisim::check {
 namespace {
 
@@ -15,28 +19,90 @@ std::size_t round_up_pow2(std::size_t n) {
 
 StateTable::StateTable() : StateTable(Options{}) {}
 
-StateTable::StateTable(Options options)
-    : shards_(round_up_pow2(options.shards == 0 ? 1 : options.shards)),
-      mask_(shards_.size() - 1),
-      audit_(options.audit) {}
+StateTable::StateTable(Options options) : audit_(options.audit) {
+  if (!audit_) {
+    const std::size_t cap =
+        round_up_pow2(options.capacity < 16 ? 16 : options.capacity);
+    // calloc: slots start zeroed (== kEmpty) without touching pages, so a
+    // search that visits a few hundred states maps a few pages of a
+    // million-slot table.
+    slots_ = static_cast<Slot*>(std::calloc(cap, sizeof(Slot)));
+    if (slots_ == nullptr) {
+      throw std::bad_alloc();
+    }
+    mask_ = cap - 1;
+    high_water_ = cap - cap / 8;
+  }
+}
+
+StateTable::~StateTable() { std::free(slots_); }
+
+bool StateTable::insert_lockfree(util::Fingerprint fp) {
+  if (size_.load(std::memory_order_relaxed) >= high_water_) {
+    // Saturated: admit without recording.  The caller walks the subtree (no
+    // unsound prune is possible - nothing new is recorded), dedupe merely
+    // stops shrinking the search past this point.
+    saturated_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  std::size_t idx = FingerprintHash{}(fp) & mask_;
+  for (std::size_t probes = 0; probes <= mask_; ++probes) {
+    Slot& slot = slots_[idx];
+    std::atomic_ref<std::uint32_t> state(slot.state);
+    for (;;) {
+      std::uint32_t st = state.load(std::memory_order_acquire);
+      if (st == kBusy) {
+        // The claimant is between its CAS and its FULL release - a handful
+        // of instructions; spin until the key is published.
+        std::this_thread::yield();
+        continue;
+      }
+      if (st == kFull) {
+        // The acquire load of kFull orders these reads after the
+        // claimant's key writes.
+        if (std::atomic_ref<std::uint64_t>(slot.lo).load(
+                std::memory_order_relaxed) == fp.lo &&
+            std::atomic_ref<std::uint64_t>(slot.hi).load(
+                std::memory_order_relaxed) == fp.hi) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        break;  // occupied by another key; probe the next slot
+      }
+      // kEmpty: claim it.  On a lost race, re-examine the same slot (the
+      // winner may have inserted this very key).
+      std::uint32_t expected = kEmpty;
+      if (state.compare_exchange_strong(expected, kBusy,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        std::atomic_ref<std::uint64_t>(slot.lo).store(
+            fp.lo, std::memory_order_relaxed);
+        std::atomic_ref<std::uint64_t>(slot.hi).store(
+            fp.hi, std::memory_order_relaxed);
+        state.store(kFull, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    idx = (idx + 1) & mask_;
+  }
+  // Unreachable below the high-water mark (empty slots always remain), but
+  // degrade like saturation rather than loop forever.
+  saturated_.store(true, std::memory_order_relaxed);
+  return true;
+}
 
 bool StateTable::insert(util::Fingerprint fp,
                         const std::function<std::string()>& canonical) {
-  Shard& shard = shard_for(fp);
   if (!audit_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.seen.insert(fp).second) {
-      return true;
-    }
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+    return insert_lockfree(fp);
   }
   // Audit mode: serialize outside the lock (the canonical string depends
   // only on the caller's world, not on the table).
   std::string state = canonical ? canonical() : std::string{};
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::mutex> lock(audit_mu_);
   // try_emplace leaves `state` intact when the key already exists.
-  auto [it, inserted] = shard.canon.try_emplace(fp, std::move(state));
+  auto [it, inserted] = canon_.try_emplace(fp, std::move(state));
   if (inserted) {
     return true;
   }
@@ -51,12 +117,11 @@ bool StateTable::insert(util::Fingerprint fp,
 }
 
 std::size_t StateTable::states() const {
-  std::size_t total = 0;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
-    total += audit_ ? shard.canon.size() : shard.seen.size();
+  if (!audit_) {
+    return size_.load(std::memory_order_relaxed);
   }
-  return total;
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(audit_mu_));
+  return canon_.size();
 }
 
 }  // namespace revisim::check

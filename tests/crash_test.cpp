@@ -457,7 +457,7 @@ TEST(CrashExplore, SerialAndParallelAgreeUnderCrashes) {
   check::ParallelExploreOptions popt;
   popt.base = opt;
   popt.threads = 2;
-  popt.frontier_depth = 3;
+  popt.oversubscribe = true;
   auto parallel =
       check::parallel_explore_schedules(make_crash_world_factory(spec), popt);
   EXPECT_EQ(serial.executions, parallel.executions);

@@ -7,7 +7,9 @@
 // coefficients and a planted violation's DFS index is the lexicographic
 // rank of its schedule - which pins down cap-boundary accounting, the
 // lexicographically-smallest-witness guarantee, and bit-identical results
-// across thread counts, frontier depths and warm-world pool sizes.
+// across thread counts, steal timings and warm-world pool sizes.  Parallel
+// runs set `oversubscribe` so real worker threads (and therefore real
+// steals and shared-table races) happen even on a single-core machine.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -242,19 +244,57 @@ TEST(FastMode, RunnableIntoMatchesRunnable) {
 
 // --- parallel explorer: bit-identical results for any thread count ---
 
-TEST(ParallelExplore, DeterministicAcrossThreadsAndFrontiers) {
+TEST(ParallelExplore, DeterministicAcrossThreadsAndStealing) {
   auto serial = explore_schedules(script_factory({3, 3, 2}));
   EXPECT_EQ(serial.executions, 560u);
+  EXPECT_EQ(serial.jobs, 1u);
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
-    for (std::size_t frontier : {0u, 1u, 3u, 6u}) {
+    for (bool oversubscribe : {false, true}) {
       ParallelExploreOptions opt;
       opt.threads = threads;
-      opt.frontier_depth = frontier;
+      opt.oversubscribe = oversubscribe;
       auto res = parallel_explore_schedules(script_factory({3, 3, 2}), opt);
       expect_same(res, serial,
                   "threads=" + std::to_string(threads) +
-                      " frontier=" + std::to_string(frontier));
+                      " oversubscribe=" + std::to_string(oversubscribe));
     }
+  }
+}
+
+TEST(ParallelExplore, ForcedStealsStayBitIdentical) {
+  // Oversubscribed workers on any machine are all hungry at startup, so the
+  // seed job's worker starts splitting its stack immediately: every
+  // configuration steals for real, and the merged result must not budge.
+  auto serial = explore_schedules(script_factory({4, 4, 3}));
+  EXPECT_EQ(serial.executions, 11550u);  // 11! / (4!4!3!)
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    ParallelExploreOptions opt;
+    opt.threads = threads;
+    opt.oversubscribe = true;
+    auto res = parallel_explore_schedules(script_factory({4, 4, 3}), opt);
+    expect_same(res, serial, "threads=" + std::to_string(threads));
+    EXPECT_GT(res.steals, 0u) << threads;
+    EXPECT_GT(res.jobs, 1u) << threads;  // the seed was split at least once
+  }
+}
+
+TEST(ParallelExplore, SingleThreadIsTheSerialEngineInline) {
+  // threads == 1 bypasses the stealing machinery entirely: one job, zero
+  // steals, results bit-identical to explore_schedules - with and without
+  // a cap or a planted violation.
+  const Schedule planted{0, 1, 1, 0};
+  for (std::size_t cap : {3u, 500'000u}) {
+    ScheduleExploreOptions base;
+    base.max_executions = cap;
+    auto factory = script_factory({2, 2}, {planted});
+    auto serial = explore_schedules(factory, base);
+    ParallelExploreOptions opt;
+    opt.base = base;
+    opt.threads = 1;
+    auto res = parallel_explore_schedules(factory, opt);
+    expect_same(res, serial, "cap=" + std::to_string(cap));
+    EXPECT_EQ(res.jobs, 1u);
+    EXPECT_EQ(res.steals, 0u);
   }
 }
 
@@ -270,7 +310,7 @@ TEST(ParallelExplore, LexicographicallySmallestWitness) {
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     ParallelExploreOptions opt;
     opt.threads = threads;
-    opt.frontier_depth = 2;
+    opt.oversubscribe = true;
     auto res = parallel_explore_schedules(factory, opt);
     expect_same(res, serial, "threads=" + std::to_string(threads));
   }
@@ -285,26 +325,13 @@ TEST(ParallelExplore, CapAccountingMatchesSerial) {
       ParallelExploreOptions opt;
       opt.base = base;
       opt.threads = threads;
-      opt.frontier_depth = 3;
+      opt.oversubscribe = true;
       auto res = parallel_explore_schedules(script_factory({3, 3, 2}), opt);
       expect_same(res, serial,
                   "cap=" + std::to_string(cap) +
                       " threads=" + std::to_string(threads));
     }
   }
-}
-
-TEST(ParallelExplore, ViolationAboveFrontierDepth) {
-  // With a frontier deeper than the whole tree, every leaf is judged during
-  // the serial generation walk; results must still match.
-  const Schedule planted{0, 1, 1, 0};
-  auto factory = script_factory({2, 2}, {planted});
-  auto serial = explore_schedules(factory);
-  ParallelExploreOptions opt;
-  opt.threads = 4;
-  opt.frontier_depth = 32;
-  auto res = parallel_explore_schedules(factory, opt);
-  expect_same(res, serial, "deep frontier");
 }
 
 // --- transposition dedupe: verdict parity across thread counts ---
@@ -366,7 +393,7 @@ TEST(ParallelDedupe, VerdictParityAcrossThreadCounts) {
       ParallelExploreOptions opt;
       opt.base = base;
       opt.threads = threads;
-      opt.frontier_depth = 3;
+      opt.oversubscribe = true;
       auto res = parallel_explore_schedules(factory, opt);
       const std::string what =
           "banned=" + std::to_string(banned) +
@@ -376,6 +403,16 @@ TEST(ParallelDedupe, VerdictParityAcrossThreadCounts) {
       EXPECT_TRUE(res.exhausted) << what;
       EXPECT_LE(res.executions * 2, plain.executions) << what;  // >= 2x win
       EXPECT_GT(res.states_seen, 0u) << what;
+      // Claim-then-walk: the CAS insert claims a state before its subtree
+      // is walked, so racing workers prune instead of re-claiming and the
+      // parallel explorer never records more distinct states than the
+      // serial one on an exhausted violation-free search (each distinct
+      // reachable state is claimed exactly once).  With a violation the
+      // comparison is meaningless either way: both searches cut early at
+      // interleaving-dependent points.
+      if (!plain.violation.has_value()) {
+        EXPECT_LE(res.states_seen, serial.states_seen) << what;
+      }
     }
   }
 }
@@ -388,7 +425,7 @@ TEST(ParallelDedupe, AuditModeAcrossThreadCounts) {
     ParallelExploreOptions opt;
     opt.base = base;
     opt.threads = threads;
-    opt.frontier_depth = 3;
+    opt.oversubscribe = true;
     auto res =
         parallel_explore_schedules(last_writer_factory({3, 3, 2}, 0), opt);
     EXPECT_TRUE(res.violation.has_value()) << threads;
@@ -415,7 +452,7 @@ TEST(ParallelDedupe, FingerprintExtraKeepsUniqueStatesBitIdentical) {
     ParallelExploreOptions opt;
     opt.base = base;
     opt.threads = threads;
-    opt.frontier_depth = 2;
+    opt.oversubscribe = true;
     auto res = parallel_explore_schedules(factory, opt);
     expect_same(res, plain, "threads=" + std::to_string(threads));
     EXPECT_EQ(res.subtrees_pruned, 0u) << threads;
@@ -433,7 +470,7 @@ TEST(ParallelExplore, ViolationExactlyAtCapAcrossThreads) {
     ParallelExploreOptions opt;
     opt.base = base;
     opt.threads = threads;
-    opt.frontier_depth = 2;
+    opt.oversubscribe = true;
     auto res = parallel_explore_schedules(factory, opt);
     expect_same(res, serial, "threads=" + std::to_string(threads));
   }
@@ -469,7 +506,7 @@ TEST(ParallelDegrade, PersistentlyThrowingJobYieldsErrorNotDeadlock) {
   std::atomic<int> always(1 << 20);
   ParallelExploreOptions opt;
   opt.threads = 2;
-  opt.frontier_depth = 1;
+  opt.oversubscribe = true;
   opt.job_retries = 1;
   auto res = parallel_explore_schedules(
       [&] { return std::make_unique<FlakyWorld>(std::vector<std::size_t>{2, 2},
@@ -489,7 +526,6 @@ TEST(ParallelDegrade, TransientFaultIsAbsorbedByRetry) {
   std::atomic<int> once(1);
   ParallelExploreOptions opt;
   opt.threads = 2;
-  opt.frontier_depth = 1;
   opt.job_retries = 2;
   auto res = parallel_explore_schedules(
       [&] { return std::make_unique<FlakyWorld>(std::vector<std::size_t>{2, 2},
@@ -500,7 +536,7 @@ TEST(ParallelDegrade, TransientFaultIsAbsorbedByRetry) {
   EXPECT_FALSE(res.timed_out);
 }
 
-Task<void> slow_writes(Scheduler& sched, std::size_t obj, ProcessId me,
+Task<void> slow_writes(Scheduler& sched, std::size_t obj, ProcessId /*me*/,
                        std::size_t writes) {
   for (std::size_t i = 0; i < writes; ++i) {
     co_await runtime::StepAwaiter<void>(
@@ -531,7 +567,7 @@ TEST(ParallelDegrade, WallClockLimitReturnsPartialSummary) {
   // must report a timed-out partial summary rather than block.
   ParallelExploreOptions opt;
   opt.threads = 2;
-  opt.frontier_depth = 1;
+  opt.oversubscribe = true;
   opt.time_limit = std::chrono::milliseconds(1);
   auto res = parallel_explore_schedules(
       [] { return std::make_unique<SlowWorld>(std::vector<std::size_t>{2, 2}); },
@@ -563,11 +599,38 @@ TEST(ParallelCrash, CrashBranchingMatchesSerial) {
       ParallelExploreOptions opt;
       opt.base = base;
       opt.threads = threads;
-      opt.frontier_depth = 2;
+      opt.oversubscribe = true;
       auto res = parallel_explore_schedules(script_factory({1, 1}), opt);
       expect_same(res, serial,
                   "crashes=" + std::to_string(crashes) +
                       " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelCrash, StealsDuringCrashBranchingStayBitIdentical) {
+  // A crash-extended tree big enough that oversubscribed workers steal
+  // while crash branches are being enumerated: donated choice lists carry
+  // crash entries (top bit set), and the key order must still replay the
+  // serial result exactly - planted violation included.  The planted order
+  // log is only reachable by crashing process 1 after its first write, so
+  // the reported witness necessarily contains a crash entry.
+  const Schedule planted{1, 0, 0, 0};
+  for (auto writes : {std::vector<std::size_t>{3, 3}}) {
+    ScheduleExploreOptions base;
+    base.max_crashes = 2;
+    auto factory = script_factory(writes, {planted});
+    auto serial = explore_schedules(factory, base);
+    ASSERT_TRUE(serial.violation.has_value());
+    EXPECT_TRUE(std::any_of(serial.witness.begin(), serial.witness.end(),
+                            runtime::is_crash_entry));
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      ParallelExploreOptions opt;
+      opt.base = base;
+      opt.threads = threads;
+      opt.oversubscribe = true;
+      auto res = parallel_explore_schedules(factory, opt);
+      expect_same(res, serial, "threads=" + std::to_string(threads));
     }
   }
 }

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scaling smoke gate for the work-stealing parallel explorer.
+
+Reads BENCH_modelcheck.json (JSON-lines, written by bench_modelcheck) and
+fails if, on any checked instance, the parallel-4 configuration is more
+than SLOWDOWN_LIMIT times slower than serial-fast.  The stealing explorer
+clamps its worker count to the hardware concurrency and its per-worker warm
+pools adapt downward, so even on a single-core CI runner parallel-4 must
+track the serial fast path - a regression here means the coordination
+machinery started costing real time again (the failure mode of the old
+frontier-split explorer, which ran 5x slower than serial on one core).
+
+Usage: tools/scaling_smoke.py [path-to-BENCH_modelcheck.json]
+"""
+
+import json
+import sys
+
+SLOWDOWN_LIMIT = 1.3
+INSTANCES = ("register-script-554", "collect-writers-443")
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_modelcheck.json"
+    rows = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                if row.get("name") != "modelcheck-scaling":
+                    continue
+                rows[(row.get("instance"), row.get("config"))] = row
+    except OSError as err:
+        print(f"scaling-smoke: cannot read {path}: {err}")
+        return 1
+
+    failures = []
+    for instance in INSTANCES:
+        serial = rows.get((instance, "serial-fast"))
+        parallel = rows.get((instance, "parallel-4"))
+        if serial is None or parallel is None:
+            failures.append(f"{instance}: missing serial-fast/parallel-4 rows")
+            continue
+        if not parallel.get("identical_to_baseline", False):
+            failures.append(f"{instance}: parallel-4 result not bit-identical")
+        ratio = parallel["seconds"] / max(serial["seconds"], 1e-9)
+        verdict = "ok" if ratio <= SLOWDOWN_LIMIT else "FAIL"
+        print(
+            f"scaling-smoke: {instance}: serial-fast {serial['seconds']:.3f}s,"
+            f" parallel-4 {parallel['seconds']:.3f}s -> {ratio:.2f}x"
+            f" (limit {SLOWDOWN_LIMIT}x) {verdict}"
+            f" [jobs={parallel.get('jobs')} steals={parallel.get('steals')}]"
+        )
+        if ratio > SLOWDOWN_LIMIT:
+            failures.append(
+                f"{instance}: parallel-4 is {ratio:.2f}x slower than "
+                f"serial-fast (limit {SLOWDOWN_LIMIT}x)"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"scaling-smoke: FAIL: {failure}")
+        return 1
+    print("scaling-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
