@@ -46,6 +46,7 @@
 #include "src/check/model_check.h"
 #include "src/check/parallel_explore.h"
 #include "src/memory/collect_snapshot.h"
+#include "src/memory/register.h"
 #include "src/runtime/scheduler.h"
 
 namespace {
@@ -61,21 +62,26 @@ using runtime::Scheduler;
 using runtime::StepKind;
 using runtime::Task;
 
-Task<void> write_script(Scheduler& sched, std::size_t obj,
-                        std::size_t writes) {
+Task<void> write_script(mem::TypedRegister<int>& reg, std::size_t writes) {
   for (std::size_t i = 0; i < writes; ++i) {
-    co_await runtime::StepAwaiter<void>(
-        sched, [] {}, obj, StepKind::kWrite, {});
+    co_await reg.write(static_cast<int>(i) + 1);
   }
 }
 
-// Three register writers; the 252,252-leaf hot-path instance.
+// Three register writers, each on its *own* register; the 252,252-leaf
+// hot-path instance.  Per-process registers keep the tree shape (every
+// process always runnable, multinomial leaf count) while giving every step
+// a precise single-cell footprint, so this instance also measures what
+// partial-order reduction earns on disjoint-access traffic - the workload
+// class POR exists for.
 class ScriptWorld final : public ExplorableWorld {
  public:
   explicit ScriptWorld(std::vector<std::size_t> writes) {
-    const std::size_t obj = sched_.register_object("r");
+    regs_.reserve(writes.size());
     for (std::size_t p = 0; p < writes.size(); ++p) {
-      sched_.spawn(write_script(sched_, obj, writes[p]), "q");
+      regs_.push_back(std::make_unique<mem::TypedRegister<int>>(
+          sched_, "r" + std::to_string(p), 0));
+      sched_.spawn(write_script(*regs_[p], writes[p]), "q");
     }
   }
   Scheduler& scheduler() override { return sched_; }
@@ -83,6 +89,7 @@ class ScriptWorld final : public ExplorableWorld {
 
  private:
   Scheduler sched_;
+  std::vector<std::unique_ptr<mem::TypedRegister<int>>> regs_;
 };
 
 Task<void> upd_script(mem::CollectSnapshot& snap, ProcessId me,
@@ -198,35 +205,49 @@ bool run_instance(const std::string& name,
   fast.max_executions = max_executions;
 
   std::printf("\n  instance %s\n", name.c_str());
-  std::printf("  %-16s %10s %9s %12s %8s\n", "config", "execs", "sec",
+  std::printf("  %-22s %10s %9s %12s %8s\n", "config", "execs", "sec",
               "execs/sec", "speedup");
 
   const auto baseline = timed([&] { return explore_schedules(make, traced); });
   const auto serial_fast = timed([&] { return explore_schedules(make, fast); });
 
   bool ok = true;
+  // What each configuration owes the undeduped baseline:
+  //   kExact  - bit-identical (executions, exhausted, violation, witness);
+  //   kPor    - same verdict, same lex-smallest witness, same exhausted
+  //             flag; executions may only shrink (skipped schedules are
+  //             step-swap-equivalent to explored ones);
+  //   kDedupe - violation-found / violation-free parity only (the table
+  //             legitimately reroutes witnesses and collapses counts).
+  enum class Mode { kExact, kPor, kDedupe };
   auto row = [&](const std::string& config, const Measured& m,
-                 std::size_t threads, bool dedupe) {
+                 std::size_t threads, Mode mode, bool por, bool dedupe) {
     const double rate = m.result.executions / std::max(m.seconds, 1e-9);
     const double speedup = baseline.seconds / std::max(m.seconds, 1e-9);
     const double reduction =
         static_cast<double>(baseline.result.executions) /
         std::max<std::size_t>(m.result.executions, 1);
-    std::printf("  %-16s %10zu %9.3f %12.0f %7.2fx\n", config.c_str(),
+    std::printf("  %-22s %10zu %9.3f %12.0f %7.2fx\n", config.c_str(),
                 m.result.executions, m.seconds, rate, speedup);
-    // Dedupe changes counts by design; what must carry over is the
-    // violation-found / violation-free verdict.  Undeduped configurations
-    // stay bit-identical.
     const bool identical = same(m.result, baseline.result);
     const bool parity =
         m.result.violation.has_value() == baseline.result.violation.has_value();
-    ok = ok && (dedupe ? parity : identical);
+    const bool por_parity = m.result.violation == baseline.result.violation &&
+                            m.result.witness == baseline.result.witness &&
+                            m.result.exhausted == baseline.result.exhausted &&
+                            m.result.executions <= baseline.result.executions;
+    switch (mode) {
+      case Mode::kExact: ok = ok && identical; break;
+      case Mode::kPor: ok = ok && por_parity; break;
+      case Mode::kDedupe: ok = ok && parity; break;
+    }
     benchutil::json_line(
         "BENCH_modelcheck.json", "modelcheck-scaling",
         {{"instance", name},
          {"config", config},
          {"threads", threads},
          {"dedupe", dedupe},
+         {"por", por},
          {"executions", m.result.executions},
          {"exhausted", m.result.exhausted},
          {"states_seen", m.result.states_seen},
@@ -234,22 +255,29 @@ bool run_instance(const std::string& name,
          {"jobs", m.result.jobs},
          {"steals", m.result.steals},
          {"replay_steps_saved", m.result.replay_steps_saved},
+         {"por_skipped", m.result.por_skipped},
+         {"dependent_wakeups", m.result.dependent_wakeups},
+         {"footprint_bytes",
+          static_cast<std::size_t>(m.result.footprint_bytes)},
+         {"dedupe_disabled_adaptively", m.result.dedupe_disabled_adaptively},
          {"reduction_vs_undeduped", reduction},
          {"seconds", m.seconds},
          {"execs_per_sec", rate},
          {"speedup_vs_traced", speedup},
          {"verdict_parity", parity},
+         {"witness_parity", por_parity},
          {"identical_to_baseline", identical}});
   };
-  row("serial-traced", baseline, 1, false);
-  row("serial-fast", serial_fast, 1, false);
+  row("serial-traced", baseline, 1, Mode::kExact, false, false);
+  row("serial-fast", serial_fast, 1, Mode::kExact, false, false);
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     check::ParallelExploreOptions popt;
     popt.base = fast;
     popt.threads = threads;
     const auto par =
         timed([&] { return check::parallel_explore_schedules(make, popt); });
-    row("parallel-" + std::to_string(threads), par, threads, false);
+    row("parallel-" + std::to_string(threads), par, threads, Mode::kExact,
+        false, false);
   }
 
   // Transposition pruning on: executions legitimately shrink to the number
@@ -258,15 +286,49 @@ bool run_instance(const std::string& name,
   dedupe.dedupe_states = true;
   const auto serial_dedupe =
       timed([&] { return explore_schedules(make, dedupe); });
-  row("serial-dedupe", serial_dedupe, 1, true);
+  row("serial-dedupe", serial_dedupe, 1, Mode::kDedupe, false, true);
   for (std::size_t threads : {2u, 4u}) {
     check::ParallelExploreOptions popt;
     popt.base = dedupe;
     popt.threads = threads;
     const auto par =
         timed([&] { return check::parallel_explore_schedules(make, popt); });
-    row("parallel-dedupe-" + std::to_string(threads), par, threads, true);
+    row("parallel-dedupe-" + std::to_string(threads), par, threads,
+        Mode::kDedupe, false, true);
   }
+
+  // Partial-order reduction: executions shrink to one representative per
+  // Mazurkiewicz trace while verdict + lex-smallest witness carry over
+  // exactly - serially and at every thread count.
+  ScheduleExploreOptions por = fast;
+  por.por = true;
+  const auto serial_por = timed([&] { return explore_schedules(make, por); });
+  row("serial-por", serial_por, 1, Mode::kPor, true, false);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    check::ParallelExploreOptions popt;
+    popt.base = por;
+    popt.threads = threads;
+    const auto par =
+        timed([&] { return check::parallel_explore_schedules(make, popt); });
+    row("por-parallel-" + std::to_string(threads), par, threads, Mode::kPor,
+        true, false);
+  }
+
+  // POR and the transposition table compose (sleep sets are folded into the
+  // fingerprint); adaptive dedupe turns the table off mid-run when a lookup
+  // window earns nothing.
+  ScheduleExploreOptions por_dedupe = por;
+  por_dedupe.dedupe_states = true;
+  const auto serial_por_dedupe =
+      timed([&] { return explore_schedules(make, por_dedupe); });
+  row("serial-por-dedupe", serial_por_dedupe, 1, Mode::kDedupe, true, true);
+
+  ScheduleExploreOptions adaptive = dedupe;
+  adaptive.dedupe_adaptive = true;
+  const auto serial_adaptive =
+      timed([&] { return explore_schedules(make, adaptive); });
+  row("serial-dedupe-adaptive", serial_adaptive, 1, Mode::kDedupe, false,
+      true);
   return ok;
 }
 
@@ -299,8 +361,24 @@ bool run_crash_instance(const std::string& world, bool expect_violation) {
     // be flagged already crash-free (interference alone starves the mutant)
     // and stay flagged under every crash budget.
     ok = ok && serial.result.violation.has_value() == expect_violation;
+    // POR under crash branching.  The augmented crash worlds declare opaque
+    // footprints throughout (their continuations append to the shared
+    // operation log), so POR must cost nothing and change nothing: the
+    // reduced tree is bit-identical to the unreduced one, serially and in
+    // parallel.
+    ScheduleExploreOptions por_opt = opt;
+    por_opt.por = true;
+    const auto serial_por =
+        timed([&] { return explore_schedules(make, por_opt); });
+    check::ParallelExploreOptions por_popt;
+    por_popt.base = por_opt;
+    por_popt.threads = 4;
+    const auto par_por = timed(
+        [&] { return check::parallel_explore_schedules(make, por_popt); });
+    ok = ok && same(serial_por.result, serial.result);
+    ok = ok && same(par_por.result, serial.result);
     auto row = [&](const std::string& config, const Measured& m,
-                   std::size_t threads) {
+                   std::size_t threads, bool por) {
       const double rate = m.result.executions / std::max(m.seconds, 1e-9);
       std::printf("  %-16s %10zu %9.3f %12.0f\n", config.c_str(),
                   m.result.executions, m.seconds, rate);
@@ -309,6 +387,7 @@ bool run_crash_instance(const std::string& world, bool expect_violation) {
                             {"config", config},
                             {"threads", threads},
                             {"max_crashes", crashes},
+                            {"por", por},
                             {"executions", m.result.executions},
                             {"exhausted", m.result.exhausted},
                             {"violation", m.result.violation.has_value()},
@@ -318,8 +397,10 @@ bool run_crash_instance(const std::string& world, bool expect_violation) {
                             {"seconds", m.seconds},
                             {"execs_per_sec", rate}});
     };
-    row("serial-c" + std::to_string(crashes), serial, 1);
-    row("parallel-c" + std::to_string(crashes), par, 4);
+    row("serial-c" + std::to_string(crashes), serial, 1, false);
+    row("parallel-c" + std::to_string(crashes), par, 4, false);
+    row("serial-por-c" + std::to_string(crashes), serial_por, 1, true);
+    row("parallel-por-c" + std::to_string(crashes), par_por, 4, true);
   }
   return ok;
 }

@@ -13,6 +13,15 @@ namespace {
 struct Frame {
   std::vector<runtime::ProcessId> choices;  // entries available at this depth
   std::size_t next = 0;                     // next choice to try
+  // POR only (unused, empty otherwise).  `fps` holds one footprint per
+  // surviving choice, captured at expansion from the poised operations of
+  // the node's world (crash entries: opaque); `sleep`/`sleep_fps` hold the
+  // node's incoming sleep set.  A sleeping process's poised operation is
+  // literally unchanged until it executes, so a footprint captured once at
+  // this node stays valid for every later descent through it.
+  std::vector<runtime::Footprint> fps;
+  std::vector<runtime::ProcessId> sleep;
+  std::vector<runtime::Footprint> sleep_fps;
 };
 
 // Ledger window: parks per capacity-adaptation decision.
@@ -20,6 +29,10 @@ constexpr std::uint64_t kAdaptWindow = 32;
 // Acquire misses before a zeroed adaptive pool re-probes parking.
 constexpr std::uint64_t kReprobeMisses = 65'536;
 constexpr std::size_t kReprobeCapacity = 2;
+// Adaptive dedupe: evaluate the prune rate every this-many table lookups...
+constexpr std::uint64_t kDedupeAdaptWindow = 4'096;
+// ...and stop fingerprinting when fewer than 1-in-this-many lookups pruned.
+constexpr std::uint64_t kDedupeAdaptFactor = 64;
 
 }  // namespace
 
@@ -146,6 +159,11 @@ SubtreeResult explore_job(
       table = &*own_table;
     }
   }
+  // `table` may be nulled mid-job by the adaptive kill-switch; final
+  // statistics still come from the real table.
+  StateTable* stats_table = table;
+  std::uint64_t dedupe_lookups = 0;
+  std::uint64_t dedupe_prunes = 0;
 
   // Warm pool: the caller's persistent per-worker pool (adaptive, survives
   // across jobs) or a job-local fixed-capacity one (the serial explorer).
@@ -235,6 +253,45 @@ SubtreeResult explore_job(
     canonical = [&world] { return world->canonical_state(); };
   }
 
+  // POR: sleep set of the node the loop is about to process, computed on
+  // descent from the parent frame's sleep set and already-explored sibling
+  // choices.  Empty at the job root (a donated root uses ctx->root_sleep).
+  std::vector<runtime::ProcessId> node_sleep;
+  std::vector<runtime::Footprint> node_sleep_fps;
+
+  // Sleep set of the child reached via frame choice k:
+  //   { e in sleep(node) : indep(e, c_k) }  ++  { c_j : j < k, indep(c_j, c_k) }
+  // in that order (the order is deterministic, which keeps the POR+dedupe
+  // fingerprint mixing bit-identical between the serial walk and any
+  // parallel decomposition).  A crash choice's footprint is opaque, so it
+  // conflicts with everything: descending through a crash empties the sleep
+  // set, and explored crash siblings never join it.
+  auto compute_child_sleep = [&](const Frame& f, std::size_t k) {
+    if (!options.por) {
+      return;
+    }
+    node_sleep.clear();
+    node_sleep_fps.clear();
+    const runtime::Footprint& cfp = f.fps[k];
+    for (std::size_t i = 0; i < f.sleep.size(); ++i) {
+      if (runtime::footprints_conflict(f.sleep_fps[i], cfp)) {
+        ++res.dependent_wakeups;
+      } else {
+        node_sleep.push_back(f.sleep[i]);
+        node_sleep_fps.push_back(f.sleep_fps[i]);
+      }
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (runtime::is_crash_entry(f.choices[j])) {
+        continue;
+      }
+      if (!runtime::footprints_conflict(f.fps[j], cfp)) {
+        node_sleep.push_back(f.choices[j]);
+        node_sleep_fps.push_back(f.fps[j]);
+      }
+    }
+  };
+
   // Offer the shallowest untried sibling suffix to the split hooks.  The
   // donated region is everything lexicographically after the donor's
   // remaining work within that frame's subtree, so the donor's region stays
@@ -251,6 +308,18 @@ SubtreeResult explore_job(
                       schedule.begin() + static_cast<std::ptrdiff_t>(node_len));
       d.choices.assign(fr.choices.begin() + static_cast<std::ptrdiff_t>(fr.next),
                        fr.choices.end());
+      if (options.por) {
+        // Split-node sleep set, then the donor's explored siblings, in the
+        // exact order compute_child_sleep would consider them.  Crash
+        // entries are skipped: being dependent with everything, they could
+        // never survive into a donated branch's sleep set anyway.
+        d.sleep.assign(fr.sleep.begin(), fr.sleep.end());
+        for (std::size_t j = 0; j < fr.next; ++j) {
+          if (!runtime::is_crash_entry(fr.choices[j])) {
+            d.sleep.push_back(fr.choices[j]);
+          }
+        }
+      }
       d.warm = pool->take_at(schedule, node_len);
       if (ctx->split.take(d)) {
         fr.next = fr.choices.size();
@@ -272,99 +341,194 @@ SubtreeResult explore_job(
     // skipped without counting an execution or evaluating a verdict.
     bool pruned = false;
     if (table != nullptr && schedule.size() > prefix.size()) {
-      pruned = !table->insert(world->fingerprint(), canonical);
+      util::Fingerprint fp = world->fingerprint();
+      if (options.por) {
+        // Same state, smaller sleep set => strictly larger subtree, so the
+        // sleep set is part of the node's identity: mix its entries (order
+        // is deterministic, see compute_child_sleep) into the fingerprint.
+        for (runtime::ProcessId e : node_sleep) {
+          fp.lo ^= (static_cast<std::uint64_t>(e) + 0x9e3779b97f4a7c15ull) *
+                   0xff51afd7ed558ccdull;
+          fp.hi = fp.hi * 0xc4ceb9fe1a85ec53ull + fp.lo;
+        }
+      }
+      pruned = !table->insert(fp, canonical);
+      if (options.dedupe_adaptive) {
+        dedupe_lookups++;
+        dedupe_prunes += pruned ? 1 : 0;
+        if (dedupe_lookups >= kDedupeAdaptWindow) {
+          if (dedupe_prunes * kDedupeAdaptFactor < dedupe_lookups) {
+            // The window closed at a loss: fingerprinting every node costs
+            // more than the prunes it earns.  Stop consulting the table for
+            // the rest of this job; claims already made stand (this walk
+            // still explores everything it claimed, so racing workers that
+            // pruned against those claims stay covered).
+            table = nullptr;
+            res.dedupe_disabled = true;
+          }
+          dedupe_lookups = 0;
+          dedupe_prunes = 0;
+        }
+      }
     }
     world->scheduler().runnable_into(runnable);
     const bool complete = runnable.empty();
     const bool root_interior = schedule.size() == prefix.size() &&
                                ctx != nullptr && ctx->root_choices != nullptr;
+    bool backtrack = false;
+    bool count_execution = false;
     if (!root_interior &&
         (pruned || complete || schedule.size() >= options.max_steps)) {
+      backtrack = true;
+      count_execution = !pruned;
       if (pruned) {
         ++res.subtrees_pruned;
-      } else {
-        ++res.executions;
-        if (options.live_executions != nullptr) {
-          options.live_executions->store(res.executions,
-                                         std::memory_order_relaxed);
-        }
-        if (auto v = world->verdict(complete)) {
-          res.violation = std::move(v);
-          res.witness = schedule;
-          res.violation_index = res.executions;
-          if (table != nullptr) {
-            res.states_seen = table->states();
-          }
-          return res;
-        }
       }
-      // Backtrack to the deepest frame with an untried choice.  The order
-      // matters for cap accounting: a walk that ends exactly at the cap with
-      // nothing left to explore is exhausted, not truncated.
-      while (depth > 0 &&
-             stack[depth - 1].next >= stack[depth - 1].choices.size()) {
-        --depth;
-        sched_pop();
-      }
-      if (depth == 0) {
-        if (table != nullptr) {
-          res.states_seen = table->states();
-        }
-        return res;
-      }
-      if (res.executions >= cap || (abort && abort())) {
-        res.fully_explored = false;
-        if (table != nullptr) {
-          res.states_seen = table->states();
-        }
-        return res;
-      }
-      Frame& f = stack[depth - 1];
-      sched_replace_back(f.choices[f.next++]);
-      world = world_at(schedule.size());
-      continue;
-    }
-    // Descend along the first untried choice.
-    if (depth == stack.size()) {
-      stack.emplace_back();
-    }
-    Frame& f = stack[depth];
-    if (depth == 0 && ctx != nullptr && ctx->root_choices != nullptr) {
-      // A donated job: the split node's untried choices, verbatim.  The
-      // donor already expanded this node, so leaf/table checks are skipped
-      // above (root_interior) - by construction it branches.
-      f.choices.assign(ctx->root_choices->begin(), ctx->root_choices->end());
     } else {
-      std::optional<runtime::ProcessId> prev;
-      if (!schedule.empty()) {
-        prev = schedule.back();
+      // Expand.
+      if (depth == stack.size()) {
+        stack.emplace_back();
       }
-      append_node_choices(runnable, crashes, options.max_crashes, prev,
-                          f.choices);
-    }
-    f.next = 1;
-    ++depth;
-    sched_push(f.choices[0]);
-    // One cheap steal poll per node expansion: donate the shallowest
-    // untried sibling suffix (possibly this very frame's) when another
-    // worker is hungry.
-    if (ctx != nullptr && ctx->split.want && ctx->split.want()) {
-      try_donate();
-    }
-    if (stack[depth - 1].next < stack[depth - 1].choices.size() &&
-        pool->want_park()) {
-      // Keep this world warm at the branch node: the next backtrack here
-      // resumes it with one step instead of a full rebuild.  The descent
-      // world is rebuilt from scratch; the pool's ledger charges that
-      // rebuild against realized resume savings and adapts its capacity.
-      pool->park(std::move(world));
-      world = fresh_world();
-      for (std::size_t i = 0; i + 1 < schedule.size(); ++i) {
-        runtime::apply_schedule_entry(world->scheduler(), schedule[i]);
+      Frame& f = stack[depth];
+      if (depth == 0 && ctx != nullptr && ctx->root_choices != nullptr) {
+        // A donated job: the split node's untried choices, verbatim.  The
+        // donor already expanded this node (and already sleep-filtered the
+        // choices), so leaf/table checks are skipped above (root_interior) -
+        // by construction it branches.
+        f.choices.assign(ctx->root_choices->begin(), ctx->root_choices->end());
+        if (options.por) {
+          f.sleep.clear();
+          f.sleep_fps.clear();
+          if (ctx->root_sleep != nullptr) {
+            for (runtime::ProcessId e : *ctx->root_sleep) {
+              // Re-derive the donated entries' footprints from this job's
+              // own root world: a sleeping process's poised operation is
+              // unchanged, so these equal the donor's bit for bit.
+              f.sleep.push_back(e);
+              f.sleep_fps.push_back(world->scheduler().poised_footprint(e));
+            }
+          }
+        }
+      } else {
+        std::optional<runtime::ProcessId> prev;
+        if (!schedule.empty()) {
+          prev = schedule.back();
+        }
+        append_node_choices(runnable, crashes, options.max_crashes, prev,
+                            f.choices);
+        if (options.por) {
+          f.sleep.assign(node_sleep.begin(), node_sleep.end());
+          f.sleep_fps.assign(node_sleep_fps.begin(), node_sleep_fps.end());
+          if (!f.sleep.empty()) {
+            // Skip asleep choices: every schedule through them is a step
+            // swap of one through an already-explored sibling.  (Crash
+            // entries never match - sleep sets hold plain step entries.)
+            std::size_t out = 0;
+            for (std::size_t j = 0; j < f.choices.size(); ++j) {
+              bool asleep = false;
+              for (runtime::ProcessId e : f.sleep) {
+                if (e == f.choices[j]) {
+                  asleep = true;
+                  break;
+                }
+              }
+              if (asleep) {
+                ++res.por_skipped;
+              } else {
+                f.choices[out++] = f.choices[j];
+              }
+            }
+            f.choices.resize(out);
+          }
+        }
       }
-      pool->note_spent(schedule.size() - 1);
+      if (f.choices.empty()) {
+        // Sleep-blocked interior node: everything enabled here is asleep.
+        // The subtree is fully covered by earlier siblings, so backtrack
+        // without counting an execution or evaluating a verdict.
+        backtrack = true;
+      } else {
+        if (options.por) {
+          f.fps.clear();
+          auto& sched = world->scheduler();
+          for (runtime::ProcessId e : f.choices) {
+            runtime::Footprint fp =
+                runtime::is_crash_entry(e)
+                    ? runtime::Footprint::opaque_footprint()
+                    : sched.poised_footprint(e);
+            res.footprint_bytes += fp.byte_size();
+            f.fps.push_back(fp);
+          }
+        }
+        f.next = 1;
+        ++depth;
+        compute_child_sleep(f, 0);
+        sched_push(f.choices[0]);
+        // One cheap steal poll per node expansion: donate the shallowest
+        // untried sibling suffix (possibly this very frame's) when another
+        // worker is hungry.
+        if (ctx != nullptr && ctx->split.want && ctx->split.want()) {
+          try_donate();
+        }
+        if (stack[depth - 1].next < stack[depth - 1].choices.size() &&
+            pool->want_park()) {
+          // Keep this world warm at the branch node: the next backtrack here
+          // resumes it with one step instead of a full rebuild.  The descent
+          // world is rebuilt from scratch; the pool's ledger charges that
+          // rebuild against realized resume savings and adapts its capacity.
+          pool->park(std::move(world));
+          world = fresh_world();
+          for (std::size_t i = 0; i + 1 < schedule.size(); ++i) {
+            runtime::apply_schedule_entry(world->scheduler(), schedule[i]);
+          }
+          pool->note_spent(schedule.size() - 1);
+        }
+        runtime::apply_schedule_entry(world->scheduler(), schedule.back());
+        continue;
+      }
     }
-    runtime::apply_schedule_entry(world->scheduler(), schedule.back());
+    assert(backtrack);
+    if (count_execution) {
+      ++res.executions;
+      if (options.live_executions != nullptr) {
+        options.live_executions->store(res.executions,
+                                       std::memory_order_relaxed);
+      }
+      if (auto v = world->verdict(complete)) {
+        res.violation = std::move(v);
+        res.witness = schedule;
+        res.violation_index = res.executions;
+        if (stats_table != nullptr) {
+          res.states_seen = stats_table->states();
+        }
+        return res;
+      }
+    }
+    // Backtrack to the deepest frame with an untried choice.  The order
+    // matters for cap accounting: a walk that ends exactly at the cap with
+    // nothing left to explore is exhausted, not truncated.
+    while (depth > 0 &&
+           stack[depth - 1].next >= stack[depth - 1].choices.size()) {
+      --depth;
+      sched_pop();
+    }
+    if (depth == 0) {
+      if (stats_table != nullptr) {
+        res.states_seen = stats_table->states();
+      }
+      return res;
+    }
+    if (res.executions >= cap || (abort && abort())) {
+      res.fully_explored = false;
+      if (stats_table != nullptr) {
+        res.states_seen = stats_table->states();
+      }
+      return res;
+    }
+    Frame& f = stack[depth - 1];
+    compute_child_sleep(f, f.next);
+    sched_replace_back(f.choices[f.next++]);
+    world = world_at(schedule.size());
   }
 }
 

@@ -131,6 +131,30 @@ struct SubtreeOptions {
   // Shared table (parallel explorer).  Null with dedupe_states set means
   // the walk creates a private table for its own lifetime.
   StateTable* table = nullptr;
+  // Adaptive dedupe kill-switch (WarmPool-style spent-vs-saved ledger):
+  // fingerprinting every node is pure overhead on workloads whose states
+  // are all distinct, so when a window of kDedupeAdaptWindow lookups closes
+  // with a prune rate below 1/kDedupeAdaptFactor, the walk stops consulting
+  // the table for the rest of the job and reports dedupe_disabled.  Claims
+  // already inserted stand (claim-then-walk stays sound: this walk still
+  // explores everything it claimed).  Requires dedupe_states.
+  bool dedupe_adaptive = false;
+  // Sleep-set partial-order reduction.  After the walk explores choice c at
+  // a node, c joins the *sleep set* of every later sibling branch and stays
+  // asleep down that branch until a step with a conflicting footprint
+  // executes (footprint.h defines conflicts; crash entries are dependent
+  // with everything, so they never sleep and executing one wakes all).  A
+  // choice found asleep at its node is skipped - the schedules it leads to
+  // are step-swap equivalent to already-explored ones - and a node whose
+  // every enabled choice is asleep backtracks without counting an execution
+  // or evaluating a verdict.  The lexicographically least representative of
+  // every Mazurkiewicz trace is never pruned, so for trace-invariant
+  // verdicts (any predicate of the final state) the verdict AND the
+  // lex-smallest witness match the unreduced walk exactly.  Composes with
+  // dedupe_states: the sleep set is mixed into the node fingerprint, since
+  // the same state under a smaller sleep set roots a strictly larger
+  // subtree.
+  bool por = false;
   // Live execution counter, published after every counted execution.  The
   // parallel explorer sums these across lexicographically earlier jobs to
   // bound the serial execution count before a job - the cap coupling that
@@ -149,6 +173,15 @@ struct Donation {
   std::vector<runtime::ProcessId> prefix;
   std::vector<runtime::ProcessId> choices;
   std::unique_ptr<ExplorableWorld> warm;
+  // POR only: the split node's sleep set followed by the donor's already-
+  // explored sibling choices (crash entries excluded - they are dependent
+  // with everything, so they could never survive into a child sleep set).
+  // Pure pid values: a sleeping process's poised operation is untouched by
+  // definition, so the thief re-derives each entry's footprint from its own
+  // replayed root world, and the donated branches prune exactly as they
+  // would have in the donor - the serial/parallel parity guarantee extends
+  // to sleep sets by construction.
+  std::vector<runtime::ProcessId> sleep;
 };
 
 // Work-stealing hooks, polled once per node expansion.  `want` must be
@@ -168,6 +201,8 @@ struct SplitHooks {
 // exactly `prefix`, a persistent per-worker pool, and the split hooks.
 struct JobContext {
   const std::vector<runtime::ProcessId>* root_choices = nullptr;
+  // POR only: Donation::sleep for this job's split node (null = empty).
+  const std::vector<runtime::ProcessId>* root_sleep = nullptr;
   std::unique_ptr<ExplorableWorld> warm;
   WarmPool* pool = nullptr;  // null: the engine builds a fixed local pool
   SplitHooks split;
@@ -188,6 +223,16 @@ struct SubtreeResult {
   std::size_t states_seen = 0;
   std::size_t donations = 0;                 // jobs split off via SplitHooks
   std::uint64_t replay_steps_saved = 0;      // steps skipped via warm worlds
+  // POR: choices skipped because they were asleep (each is a whole subtree
+  // of step-swap-equivalent schedules never walked).
+  std::size_t por_skipped = 0;
+  // POR: sleep entries dropped on descent because the chosen step's
+  // footprint conflicted with theirs.
+  std::size_t dependent_wakeups = 0;
+  // POR: serialized bytes of the footprints captured at node expansions.
+  std::uint64_t footprint_bytes = 0;
+  // Adaptive dedupe stopped fingerprinting mid-job (prune rate too low).
+  bool dedupe_disabled = false;
 };
 
 // Polled between executions; returning true abandons the walk (the caller

@@ -24,6 +24,10 @@ void validate(const ScheduleExploreOptions& options) {
     throw std::invalid_argument(
         "ScheduleExploreOptions: dedupe_audit requires dedupe_states");
   }
+  if (options.dedupe_adaptive && !options.dedupe_states) {
+    throw std::invalid_argument(
+        "ScheduleExploreOptions: dedupe_adaptive requires dedupe_states");
+  }
 }
 
 ScheduleExploreResult explore_schedules(
@@ -37,7 +41,9 @@ ScheduleExploreResult explore_schedules(
   sub.warm_worlds = options.warm_worlds;
   sub.dedupe_states = options.dedupe_states;
   sub.dedupe_audit = options.dedupe_audit;
+  sub.dedupe_adaptive = options.dedupe_adaptive;
   sub.max_crashes = options.max_crashes;
+  sub.por = options.por;
   auto sr = detail::explore_subtree(factory, {}, sub);
 
   ScheduleExploreResult res;
@@ -49,6 +55,10 @@ ScheduleExploreResult explore_schedules(
   res.subtrees_pruned = sr.subtrees_pruned;
   res.jobs = 1;
   res.replay_steps_saved = sr.replay_steps_saved;
+  res.por_skipped = sr.por_skipped;
+  res.dependent_wakeups = sr.dependent_wakeups;
+  res.footprint_bytes = sr.footprint_bytes;
+  res.dedupe_disabled_adaptively = sr.dedupe_disabled;
   return res;
 }
 

@@ -99,6 +99,28 @@ struct ScheduleExploreOptions {
   // top bit set (runtime::make_crash_entry) and occupy schedule slots, so
   // they count toward max_steps.  0 (default) disables crash branching.
   std::size_t max_crashes = 0;
+  // Sleep-set partial-order reduction over the access footprints the memory
+  // primitives declare (src/runtime/footprint.h).  Schedules that differ
+  // only by swapping adjacent independent steps reach the same state; POR
+  // explores exactly the lexicographically least representative of each
+  // such class and skips the rest, so `executions` shrinks - often by
+  // orders of magnitude on disjoint-access workloads - while every
+  // reachable final state is still visited.  For trace-invariant verdicts
+  // (any predicate of the final state, which all shipped worlds use) the
+  // verdict and the lex-smallest witness are preserved exactly; a verdict
+  // that inspects the schedule itself may see a different-but-equivalent
+  // representative.  Opt-in because soundness leans on the footprint
+  // declarations: primitives that cannot bound what their continuations
+  // observe stay opaque and simply earn no reduction.  Composes with
+  // dedupe_states and with crash branching (crash entries are dependent
+  // with everything).
+  bool por = false;
+  // With dedupe_states: stop fingerprinting mid-search when a window of
+  // lookups closes with a negligible prune rate (the WarmPool ledger idea
+  // applied to the transposition table).  On workloads whose states are all
+  // distinct this recovers nearly the whole dedupe overhead; on workloads
+  // that do transpose it never triggers.
+  bool dedupe_adaptive = false;
 };
 
 struct ScheduleExploreResult {
@@ -130,6 +152,18 @@ struct ScheduleExploreResult {
   // explored, and exhausted is false.
   std::optional<std::string> error;
   bool timed_out = false;
+  // Partial-order-reduction statistics (0 with por off).  `por_skipped`
+  // counts choices skipped because a step-swap-equivalent schedule was
+  // already explored (each roots a whole skipped subtree);
+  // `dependent_wakeups` counts sleep entries dropped because a conflicting
+  // step executed; `footprint_bytes` totals the serialized footprints
+  // captured at node expansions (the memory the reduction costs).
+  std::size_t por_skipped = 0;
+  std::size_t dependent_wakeups = 0;
+  std::uint64_t footprint_bytes = 0;
+  // True iff the adaptive dedupe kill-switch stopped fingerprinting in at
+  // least one job (dedupe_adaptive).
+  bool dedupe_disabled_adaptively = false;
 
   [[nodiscard]] bool ok() const noexcept { return !violation; }
 };

@@ -41,6 +41,7 @@ struct JobRecord {
   std::vector<ProcessId> key;      // prefix + first choice; see key_less
   std::vector<ProcessId> prefix;   // path to the job's root node
   std::vector<ProcessId> choices;  // untried choices there; empty = all (root)
+  std::vector<ProcessId> sleep;    // POR: Donation::sleep for the split node
   std::unique_ptr<ExplorableWorld> warm;  // donated checkpoint at `prefix`
   std::size_t donor = 0;           // worker that split this job off
   bool donated = false;            // false only for the seed job
@@ -164,7 +165,9 @@ void run_one_worker(Coordinator& co, std::size_t worker_id,
     sub.record_traces = options.base.record_traces;
     sub.warm_worlds = options.base.warm_worlds;
     sub.dedupe_states = options.base.dedupe_states;
+    sub.dedupe_adaptive = options.base.dedupe_adaptive;
     sub.max_crashes = options.base.max_crashes;
+    sub.por = options.base.por;
     sub.table = table;
     sub.live_executions = &rec->live_execs;
 
@@ -194,6 +197,7 @@ void run_one_worker(Coordinator& co, std::size_t worker_id,
       detail::JobContext ctx;
       if (!rec->choices.empty()) {
         ctx.root_choices = &rec->choices;
+        ctx.root_sleep = &rec->sleep;
       }
       ctx.warm = std::move(rec->warm);  // first attempt only; then null
       ctx.pool = &pool;
@@ -211,6 +215,7 @@ void run_one_worker(Coordinator& co, std::size_t worker_id,
         child->key.push_back(d.choices[0]);
         child->prefix = std::move(d.prefix);
         child->choices = std::move(d.choices);
+        child->sleep = std::move(d.sleep);
         child->warm = std::move(d.warm);
         child->donor = worker_id;
         child->donated = true;
@@ -276,7 +281,9 @@ ScheduleExploreResult explore_inline(
   sub.warm_worlds = options.base.warm_worlds;
   sub.dedupe_states = options.base.dedupe_states;
   sub.dedupe_audit = options.base.dedupe_audit;
+  sub.dedupe_adaptive = options.base.dedupe_adaptive;
   sub.max_crashes = options.base.max_crashes;
+  sub.por = options.base.por;
   detail::AbortProbe abort;
   if (deadline) {
     abort = past_deadline;
@@ -318,6 +325,10 @@ ScheduleExploreResult explore_inline(
   res.states_seen = sr.states_seen;
   res.subtrees_pruned = sr.subtrees_pruned;
   res.replay_steps_saved = sr.replay_steps_saved;
+  res.por_skipped = sr.por_skipped;
+  res.dependent_wakeups = sr.dependent_wakeups;
+  res.footprint_bytes = sr.footprint_bytes;
+  res.dedupe_disabled_adaptively = sr.dedupe_disabled;
   if (!sr.fully_explored && past_deadline()) {
     res.timed_out = true;
   }
@@ -342,6 +353,60 @@ ScheduleExploreResult parallel_explore_schedules(
                             : std::max(1u, std::thread::hardware_concurrency());
   if (threads == 1) {
     return explore_inline(factory, options, deadline);
+  }
+
+  // Serial probe (see ParallelExploreOptions::serial_probe_executions):
+  // spawning and synchronizing a pool costs far more than a small tree
+  // costs to walk outright, so give the serial engine a bounded head start
+  // and keep its result whenever it is conclusive on its own - tree
+  // exhausted, violation found (serial DFS order makes it the lex-smallest,
+  // so the pool could not report a different one), or the probe already ran
+  // to the caller's cap.  An inconclusive probe is discarded whole: the
+  // pool recounts from scratch, so the cap accounting never double-counts.
+  if (options.serial_probe_executions > 0) {
+    const std::uint64_t probe_cap =
+        std::min<std::uint64_t>(cap, options.serial_probe_executions);
+    auto past_deadline = [&] { return deadline && Clock::now() >= *deadline; };
+    detail::SubtreeOptions sub;
+    sub.max_steps = options.base.max_steps;
+    sub.max_executions = static_cast<std::size_t>(probe_cap);
+    sub.record_traces = options.base.record_traces;
+    sub.warm_worlds = options.base.warm_worlds;
+    sub.dedupe_states = options.base.dedupe_states;
+    sub.dedupe_audit = options.base.dedupe_audit;
+    sub.dedupe_adaptive = options.base.dedupe_adaptive;
+    sub.max_crashes = options.base.max_crashes;
+    sub.por = options.base.por;
+    detail::AbortProbe abort;
+    if (deadline) {
+      abort = past_deadline;
+    }
+    try {
+      auto sr = detail::explore_subtree(factory, {}, sub, abort);
+      if (sr.fully_explored || sr.violation.has_value() || probe_cap >= cap) {
+        ScheduleExploreResult res;
+        res.jobs = 1;
+        res.executions = sr.executions;
+        res.exhausted = sr.fully_explored;
+        res.violation = std::move(sr.violation);
+        res.witness = std::move(sr.witness);
+        res.states_seen = sr.states_seen;
+        res.subtrees_pruned = sr.subtrees_pruned;
+        res.replay_steps_saved = sr.replay_steps_saved;
+        res.por_skipped = sr.por_skipped;
+        res.dependent_wakeups = sr.dependent_wakeups;
+        res.footprint_bytes = sr.footprint_bytes;
+        res.dedupe_disabled_adaptively = sr.dedupe_disabled;
+        if (!sr.fully_explored && past_deadline()) {
+          res.timed_out = true;
+        }
+        return res;
+      }
+    } catch (...) {
+      // A deterministic throw will resurface in a worker, where the retry
+      // and graceful-degradation machinery owns it; a transient one is
+      // simply absorbed here.
+    }
   }
   // Workers beyond the core count cannot run subtrees faster, they only
   // interleave them - the measured failure mode of the pre-rework
@@ -407,6 +472,10 @@ ScheduleExploreResult parallel_explore_schedules(
   for (const JobRecord* r : order) {
     if (r->state == JobRecord::kDone) {
       res.replay_steps_saved += r->result.replay_steps_saved;
+      res.por_skipped += r->result.por_skipped;
+      res.dependent_wakeups += r->result.dependent_wakeups;
+      res.footprint_bytes += r->result.footprint_bytes;
+      res.dedupe_disabled_adaptively |= r->result.dedupe_disabled;
     }
   }
   if (table) {

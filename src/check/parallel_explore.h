@@ -85,6 +85,16 @@ struct ParallelExploreOptions {
   // exhaustion); a deterministic throw exhausts the budget and the run
   // degrades to a partial summary with `error` set.
   std::size_t job_retries = 2;
+  // Serial probe: before spawning any thread, run the serial engine for up
+  // to this many executions.  If that already settles the search - the tree
+  // is exhausted, a violation is found (serial DFS order makes it the
+  // lex-smallest), or the probe reached the caller's own cap - the probe's
+  // result is returned outright; otherwise it is discarded and the pool
+  // runs as before.  Thread spawn plus shared-table synchronization costs
+  // far more than a small tree costs to walk, which made parallel-4 over
+  // 10x slower than parallel-2 on heavily-deduped instances whose whole
+  // deduped tree fits in a few hundred executions.  0 disables the probe.
+  std::size_t serial_probe_executions = 1024;
   // Wall-clock budget; zero means unlimited.
   std::chrono::milliseconds time_limit{0};
 };

@@ -1,0 +1,172 @@
+// Access footprints: what a poised base-object step will touch.
+//
+// A footprint names the shared locations - (object id, component) pairs -
+// an atomic step reads and writes.  Footprints induce the independence
+// relation partial-order reduction rests on: two steps *commute* iff their
+// footprints do not conflict (disjoint locations, or the same location
+// touched read-only by both), because swapping two such adjacent steps
+// changes neither the final shared state nor either process's local
+// continuation.
+//
+// Soundness contract.  A step's continuation (the local code that runs
+// between the granted operation and the next poised step) executes
+// atomically *inside* the step (Scheduler::execute_poised_step resumes the
+// coroutine before returning), so a declared footprint must cover the
+// operation AND everything its continuation observes that another process
+// could concurrently change - including the global step counter, which the
+// Afek construction and the augmented snapshot read as a clock.  A
+// primitive that cannot bound that set declares the *opaque* footprint,
+// which conflicts with everything: opaque steps are never pruned against,
+// so the default is sound and precision is strictly opt-in (register.h and
+// the atomic snapshot objects opt in; the Afek cells and the augmented
+// snapshot's H deliberately do not - see their headers).
+//
+// An *empty* footprint (no accesses, not opaque) is legitimate: a step
+// whose operation touches no shared state (and whose continuation is pure
+// local computation) commutes with every non-opaque step.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace revisim::runtime {
+
+// One location access.  `component` distinguishes parts of a multi-part
+// object (a snapshot component); single-cell objects use component 0 and
+// whole-object operations (a snapshot scan) use kAllComponents.
+struct Footprint {
+  enum class Mode : std::uint8_t { kRead = 0, kWrite = 1 };
+
+  struct Access {
+    std::uint32_t object = 0;
+    std::uint32_t component = 0;
+    Mode mode = Mode::kRead;
+
+    friend bool operator==(const Access&, const Access&) = default;
+  };
+
+  static constexpr std::uint32_t kAllComponents = 0xffffffffu;
+  // Inline capacity: every current primitive poses at most one shared
+  // access per step (plus the explorer-side convenience of a second slot).
+  static constexpr std::size_t kMaxAccesses = 2;
+
+  // Default-constructed footprints are opaque: unknown effects, conflicts
+  // with everything.  This is what unannotated StepAwaiters get.
+  bool opaque = true;
+  std::uint8_t count = 0;
+  Access accesses[kMaxAccesses] = {};
+
+  [[nodiscard]] static Footprint opaque_footprint() noexcept {
+    return Footprint{};
+  }
+
+  // A precise footprint with no accesses: the step touches nothing shared.
+  [[nodiscard]] static Footprint none() noexcept {
+    Footprint fp;
+    fp.opaque = false;
+    return fp;
+  }
+
+  [[nodiscard]] static Footprint read(std::size_t object,
+                                      std::uint32_t component = 0) noexcept {
+    return none().add(object, component, Mode::kRead);
+  }
+
+  [[nodiscard]] static Footprint write(std::size_t object,
+                                       std::uint32_t component = 0) noexcept {
+    return none().add(object, component, Mode::kWrite);
+  }
+
+  // Adds an access; overflowing the inline capacity degrades to opaque
+  // (sound: opaque only ever suppresses pruning).
+  [[nodiscard]] Footprint add(std::size_t object, std::uint32_t component,
+                              Mode mode) const noexcept {
+    Footprint fp = *this;
+    if (fp.opaque) {
+      return fp;
+    }
+    if (fp.count >= kMaxAccesses) {
+      return opaque_footprint();
+    }
+    fp.accesses[fp.count++] =
+        Access{static_cast<std::uint32_t>(object), component, mode};
+    return fp;
+  }
+
+  // Serialized size, counted by the explorer's footprint_bytes statistic.
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return 2 + static_cast<std::size_t>(count) * sizeof(Access);
+  }
+
+  friend bool operator==(const Footprint& a, const Footprint& b) noexcept {
+    if (a.opaque != b.opaque || a.count != b.count) {
+      return false;
+    }
+    for (std::uint8_t i = 0; i < a.count; ++i) {
+      if (!(a.accesses[i] == b.accesses[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+namespace detail_fp {
+inline bool components_overlap(std::uint32_t a, std::uint32_t b) noexcept {
+  return a == b || a == Footprint::kAllComponents ||
+         b == Footprint::kAllComponents;
+}
+}  // namespace detail_fp
+
+// Two accesses conflict iff they touch an overlapping location and at least
+// one writes it.
+inline bool accesses_conflict(const Footprint::Access& a,
+                              const Footprint::Access& b) noexcept {
+  return a.object == b.object &&
+         detail_fp::components_overlap(a.component, b.component) &&
+         (a.mode == Footprint::Mode::kWrite ||
+          b.mode == Footprint::Mode::kWrite);
+}
+
+// Steps with conflicting footprints are *dependent*: their order matters.
+// Opaque footprints conflict with everything, including each other.
+inline bool footprints_conflict(const Footprint& a,
+                                const Footprint& b) noexcept {
+  if (a.opaque || b.opaque) {
+    return true;
+  }
+  for (std::uint8_t i = 0; i < a.count; ++i) {
+    for (std::uint8_t j = 0; j < b.count; ++j) {
+      if (accesses_conflict(a.accesses[i], b.accesses[j])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// True iff `declared` covers `actual`: every actual access falls within
+// some declared access of at-least-equal strength (a declared write covers
+// an actual read of the same location; kAllComponents covers any
+// component).  Opaque declarations cover everything.  The scheduler's
+// footprint-audit mode checks executed steps against this - a primitive
+// whose actual accesses escape its declaration would make pruning unsound.
+inline bool footprint_covers(const Footprint& declared,
+                             const Footprint::Access& actual) noexcept {
+  if (declared.opaque) {
+    return true;
+  }
+  for (std::uint8_t i = 0; i < declared.count; ++i) {
+    const Footprint::Access& d = declared.accesses[i];
+    if (d.object == actual.object &&
+        (d.component == actual.component ||
+         d.component == Footprint::kAllComponents) &&
+        (d.mode == Footprint::Mode::kWrite ||
+         actual.mode == Footprint::Mode::kRead)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace revisim::runtime

@@ -1,0 +1,297 @@
+// Access-footprint semantics (src/runtime/footprint.h) and the
+// declared-vs-actual soundness contract for every memory primitive.
+//
+// The partial-order reduction in the explorer prunes schedules purely on
+// the footprints the primitives *declare*, so these tests drive each
+// primitive under the scheduler's footprint-audit mode - where operations
+// report what they actually touch via note_access - and assert that every
+// actual access of every executed step is covered by that step's declared
+// footprint.  A primitive whose actuals escaped its declaration would make
+// the reduction unsound; a primitive that is needlessly opaque merely
+// forfeits reduction, so precision assertions are kept where the design
+// promises it (registers, the atomic snapshots) and opacity assertions
+// where it promises that instead (the Afek cells, the augmented H).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/augmented/augmented_snapshot.h"
+#include "src/memory/afek_snapshot.h"
+#include "src/memory/collect_snapshot.h"
+#include "src/memory/mw_snapshot.h"
+#include "src/memory/register.h"
+#include "src/memory/sw_snapshot.h"
+#include "src/runtime/footprint.h"
+#include "src/runtime/scheduler.h"
+
+namespace revisim {
+namespace {
+
+using runtime::Footprint;
+using runtime::ProcessId;
+using runtime::Scheduler;
+using runtime::Task;
+
+using Access = Footprint::Access;
+using Mode = Footprint::Mode;
+
+// --- the independence relation itself ----------------------------------
+
+TEST(Footprint, DefaultIsOpaqueAndConflictsWithEverything) {
+  Footprint def;
+  EXPECT_TRUE(def.opaque);
+  EXPECT_TRUE(footprints_conflict(def, def));
+  EXPECT_TRUE(footprints_conflict(def, Footprint::none()));
+  EXPECT_TRUE(footprints_conflict(Footprint::read(3), def));
+}
+
+TEST(Footprint, ReadsNeverConflict) {
+  EXPECT_FALSE(footprints_conflict(Footprint::read(1), Footprint::read(1)));
+  EXPECT_FALSE(footprints_conflict(Footprint::read(1, Footprint::kAllComponents),
+                                   Footprint::read(1, 2)));
+}
+
+TEST(Footprint, WriteConflictsNeedOverlap) {
+  // Same location, one writer: conflict.
+  EXPECT_TRUE(footprints_conflict(Footprint::write(1), Footprint::read(1)));
+  EXPECT_TRUE(footprints_conflict(Footprint::write(1), Footprint::write(1)));
+  // Different objects, or different components of one object: independent.
+  EXPECT_FALSE(footprints_conflict(Footprint::write(1), Footprint::write(2)));
+  EXPECT_FALSE(
+      footprints_conflict(Footprint::write(1, 0), Footprint::write(1, 1)));
+  // A whole-object access overlaps every component.
+  EXPECT_TRUE(footprints_conflict(
+      Footprint::read(1, Footprint::kAllComponents), Footprint::write(1, 7)));
+}
+
+TEST(Footprint, EmptyFootprintIsIndependentOfEverythingPrecise) {
+  EXPECT_FALSE(footprints_conflict(Footprint::none(), Footprint::write(0)));
+  EXPECT_FALSE(footprints_conflict(Footprint::none(), Footprint::none()));
+  EXPECT_TRUE(footprints_conflict(Footprint::none(), Footprint{}));  // opaque
+}
+
+TEST(Footprint, AddOverflowDegradesToOpaque) {
+  Footprint fp = Footprint::none();
+  for (std::size_t i = 0; i <= Footprint::kMaxAccesses; ++i) {
+    fp = fp.add(i, 0, Mode::kRead);
+  }
+  EXPECT_TRUE(fp.opaque);  // one past capacity: sound fallback, never UB
+}
+
+TEST(Footprint, CoversRespectsStrengthAndComponents) {
+  const Footprint w = Footprint::write(4, 2);
+  EXPECT_TRUE(footprint_covers(w, Access{4, 2, Mode::kWrite}));
+  EXPECT_TRUE(footprint_covers(w, Access{4, 2, Mode::kRead}));  // write >= read
+  EXPECT_FALSE(footprint_covers(w, Access{4, 3, Mode::kRead}));
+  EXPECT_FALSE(footprint_covers(w, Access{5, 2, Mode::kRead}));
+  const Footprint r = Footprint::read(4, Footprint::kAllComponents);
+  EXPECT_TRUE(footprint_covers(r, Access{4, 9, Mode::kRead}));
+  EXPECT_FALSE(footprint_covers(r, Access{4, 9, Mode::kWrite}));  // read < write
+  EXPECT_TRUE(footprint_covers(Footprint{}, Access{0, 0, Mode::kWrite}));
+}
+
+// --- declared-vs-actual audit over whole executions --------------------
+
+// Runs the world to completion under footprint audit, rotating through the
+// runnable set with a stride so repeated calls exercise different
+// interleavings, and asserts per executed step that the actuals the
+// operation reported are covered by the footprint it declared.
+void drive_checked(Scheduler& sched, std::size_t stride) {
+  sched.set_footprint_audit(true);
+  std::size_t turn = 0;
+  while (!sched.all_done()) {
+    auto cand = sched.runnable();
+    ASSERT_FALSE(cand.empty());
+    const ProcessId pid = cand[(turn += stride) % cand.size()];
+    sched.run_step(pid);
+    const Footprint& declared = sched.last_step_footprint();
+    for (const Access& a : sched.last_step_accesses()) {
+      EXPECT_TRUE(footprint_covers(declared, a))
+          << "step of p" << pid << " touched (object " << a.object
+          << ", component " << a.component << ", "
+          << (a.mode == Mode::kWrite ? "write" : "read")
+          << ") outside its declared footprint";
+    }
+  }
+}
+
+template <typename MakeWorld>
+void audit_interleavings(MakeWorld make) {
+  for (std::size_t stride = 1; stride <= 3; ++stride) {
+    auto holder = make();
+    drive_checked(holder->sched, stride);
+  }
+}
+
+struct RegisterWorld {
+  Scheduler sched;
+  mem::TypedRegister<int> a{sched, "a", 0};
+  mem::TypedRegister<int> b{sched, "b", 0};
+
+  static Task<void> script(mem::TypedRegister<int>& mine,
+                           mem::TypedRegister<int>& other, int v) {
+    co_await mine.write(v);
+    (void)co_await other.read();
+    co_await mine.write(v + 1);
+  }
+
+  RegisterWorld() {
+    sched.spawn(script(a, b, 10), "p");
+    sched.spawn(script(b, a, 20), "q");
+  }
+};
+
+TEST(FootprintAudit, TypedRegisterDeclaresExactlyItsCell) {
+  audit_interleavings([] { return std::make_unique<RegisterWorld>(); });
+  // Precision: a poised write really declares (object, cell 0, write).
+  RegisterWorld w;
+  w.sched.run_step(0);  // p's prologue + first write
+  const Footprint fp = w.sched.poised_footprint(0);  // p poised on b.read()
+  ASSERT_FALSE(fp.opaque);
+  ASSERT_EQ(fp.count, 1);
+  EXPECT_EQ(fp.accesses[0].mode, Mode::kRead);
+  const Footprint& last = w.sched.last_step_footprint();
+  ASSERT_FALSE(last.opaque);
+  ASSERT_EQ(last.count, 1);
+  EXPECT_EQ(last.accesses[0].mode, Mode::kWrite);
+  // Unstarted processes have no poised operation to introspect: opaque.
+  EXPECT_TRUE(w.sched.poised_footprint(1).opaque);
+}
+
+struct SWWorld {
+  Scheduler sched;
+  mem::SWSnapshot<int> snap{sched, "S", 2};
+
+  static Task<void> script(mem::SWSnapshot<int>& s, int v) {
+    co_await s.update(v);
+    (void)co_await s.scan();
+    co_await s.update(v + 1);
+  }
+
+  SWWorld() {
+    sched.spawn(script(snap, 1), "p");
+    sched.spawn(script(snap, 2), "q");
+  }
+};
+
+TEST(FootprintAudit, SWSnapshotScanReadsAllUpdateWritesOwn) {
+  audit_interleavings([] { return std::make_unique<SWWorld>(); });
+  SWWorld w;
+  w.sched.run_step(0);  // p's update(1) executes; p poises scan()
+  const Footprint up = w.sched.last_step_footprint();
+  ASSERT_FALSE(up.opaque);
+  ASSERT_EQ(up.count, 1);
+  EXPECT_EQ(up.accesses[0].mode, Mode::kWrite);
+  EXPECT_EQ(up.accesses[0].component, 0u);  // p's own component
+  const Footprint scan = w.sched.poised_footprint(0);
+  ASSERT_FALSE(scan.opaque);
+  ASSERT_EQ(scan.count, 1);
+  EXPECT_EQ(scan.accesses[0].mode, Mode::kRead);
+  EXPECT_EQ(scan.accesses[0].component, Footprint::kAllComponents);
+}
+
+struct MWWorld {
+  Scheduler sched;
+  mem::MWSnapshot snap{sched, "M", 3};
+
+  static Task<void> script(mem::MWSnapshot& s, std::size_t j, Val v) {
+    co_await s.update(j, v);
+    (void)co_await s.scan();
+  }
+
+  MWWorld() {
+    sched.spawn(script(snap, 0, 10), "p");
+    sched.spawn(script(snap, 2, 30), "q");
+  }
+};
+
+TEST(FootprintAudit, MWSnapshotUpdateDeclaresItsComponent) {
+  audit_interleavings([] { return std::make_unique<MWWorld>(); });
+  MWWorld w;
+  w.sched.run_step(1);  // q executes update(2, 30)
+  const Footprint up = w.sched.last_step_footprint();
+  ASSERT_FALSE(up.opaque);
+  ASSERT_EQ(up.count, 1);
+  EXPECT_EQ(up.accesses[0].component, 2u);
+  EXPECT_EQ(up.accesses[0].mode, Mode::kWrite);
+}
+
+struct CollectWorld {
+  Scheduler sched;
+  mem::CollectSnapshot snap{sched, "C", 2, 2};
+
+  CollectWorld() {
+    sched.spawn(snap.update(0, 0, 5), "p");
+    sched.spawn(scan_then_update(snap), "q");
+  }
+
+  static Task<void> scan_then_update(mem::CollectSnapshot& s) {
+    (void)co_await s.scan();
+    co_await s.update(1, 1, 7);
+  }
+};
+
+TEST(FootprintAudit, CollectSnapshotCellsStayPrecise) {
+  audit_interleavings([] { return std::make_unique<CollectWorld>(); });
+  CollectWorld w;
+  w.sched.run_step(0);  // p's single register write to cell 0
+  EXPECT_FALSE(w.sched.last_step_footprint().opaque);
+}
+
+struct AfekWorld {
+  Scheduler sched;
+  mem::AfekSnapshot snap{sched, "A", 2};
+
+  static Task<void> script(mem::AfekSnapshot& s, ProcessId me) {
+    co_await s.update(me, Val(int(me) + 1));
+    (void)co_await s.scan(me);
+  }
+
+  AfekWorld() {
+    sched.spawn(script(snap, 0), "p");
+    sched.spawn(script(snap, 1), "q");
+  }
+};
+
+TEST(FootprintAudit, AfekCellsAreOpaqueByDesign) {
+  // Every Afek step's continuation may read the global step counter as a
+  // clock, so the cells must declare opacity - and opacity trivially covers
+  // whatever the operations actually touch.
+  audit_interleavings([] { return std::make_unique<AfekWorld>(); });
+  AfekWorld w;
+  w.sched.run_step(0);
+  EXPECT_TRUE(w.sched.last_step_footprint().opaque);
+  w.sched.run_step(1);
+  EXPECT_TRUE(w.sched.last_step_footprint().opaque);
+}
+
+struct AugWorld {
+  Scheduler sched;
+  aug::AugmentedSnapshot snap{sched, "M", 2, 2};
+
+  static Task<void> script(aug::AugmentedSnapshot& m, ProcessId me) {
+    std::vector<std::size_t> comps{std::size_t(me)};
+    std::vector<Val> vals{Val(int(me) + 1)};
+    co_await m.BlockUpdate(me, comps, vals);
+    co_await m.Scan(me);
+  }
+
+  AugWorld() {
+    sched.spawn(script(snap, 0), "p");
+    sched.spawn(script(snap, 1), "q");
+  }
+};
+
+TEST(FootprintAudit, AugmentedHIsOpaqueByDesign) {
+  // The augmented snapshot's continuations append to the shared operation
+  // log and read the clock after every H step; H therefore declares opaque
+  // footprints throughout, and the audit must hold over a full execution.
+  audit_interleavings([] { return std::make_unique<AugWorld>(); });
+  AugWorld w;
+  w.sched.run_step(0);
+  EXPECT_TRUE(w.sched.last_step_footprint().opaque);
+}
+
+}  // namespace
+}  // namespace revisim

@@ -1,14 +1,40 @@
 #!/usr/bin/env python3
-"""Scaling smoke gate for the work-stealing parallel explorer.
+"""Scaling, reduction and schema smoke gates for the schedule explorer.
 
 Reads BENCH_modelcheck.json (JSON-lines, written by bench_modelcheck) and
-fails if, on any checked instance, the parallel-4 configuration is more
-than SLOWDOWN_LIMIT times slower than serial-fast.  The stealing explorer
-clamps its worker count to the hardware concurrency and its per-worker warm
-pools adapt downward, so even on a single-core CI runner parallel-4 must
-track the serial fast path - a regression here means the coordination
-machinery started costing real time again (the failure mode of the old
-frontier-split explorer, which ran 5x slower than serial on one core).
+enforces four things:
+
+1. Parallel sanity: on each checked instance, parallel-4 must not run more
+   than SLOWDOWN_LIMIT times slower than serial-fast.  The stealing explorer
+   clamps its worker count to the hardware concurrency and its per-worker
+   warm pools adapt downward, so even on a single-core CI runner parallel-4
+   must track the serial fast path - a regression here means the
+   coordination machinery started costing real time again (the failure mode
+   of the old frontier-split explorer, which ran 5x slower than serial on
+   one core).
+
+2. Dedupe-thread sanity: parallel-dedupe-4 must not run more than
+   DEDUPE_THREAD_LIMIT times slower than parallel-dedupe-2.  Heavily-deduped
+   trees collapse to a few hundred executions, where thread spawn plus
+   shared-table synchronization dominates; the serial probe in the parallel
+   explorer exists to absorb exactly those, so more threads must never cost
+   more wall clock on them.  Because both configurations resolve in the
+   probe, their wall clocks sit at the ~1ms scale where throttled CI
+   containers jitter by 10x, so the ratio only fails when the absolute gap
+   also exceeds DEDUPE_ABS_SLACK_SECONDS - a genuine pool-respawn
+   regression costs tens of milliseconds of thread churn and clears both
+   bars.
+
+3. POR effectiveness: serial-por on register-script-554 must explore at most
+   1/POR_REDUCTION_MIN of the unreduced executions while keeping verdict,
+   lex-smallest witness and exhausted flag identical (the bench records that
+   as witness_parity).  The instance is three writers on disjoint
+   registers - the workload class partial-order reduction exists for - so a
+   reduction below 2x means the sleep sets stopped working.
+
+4. Row schema: every record in the file carries the fields (with the types)
+   its record kind promises, so sweeps over commits can diff numbers
+   without defensive parsing.
 
 Usage: tools/scaling_smoke.py [path-to-BENCH_modelcheck.json]
 """
@@ -17,19 +43,95 @@ import json
 import sys
 
 SLOWDOWN_LIMIT = 1.3
+DEDUPE_THREAD_LIMIT = 1.25
+DEDUPE_ABS_SLACK_SECONDS = 0.05
+POR_REDUCTION_MIN = 2.0
 INSTANCES = ("register-script-554", "collect-writers-443")
+POR_INSTANCE = "register-script-554"
+
+# Field name -> accepted python types, per record kind.  bool is checked
+# before int (bool is an int subclass in python).
+NUMBER = (int, float)
+SCALING_SCHEMA = {
+    "instance": str,
+    "config": str,
+    "threads": int,
+    "dedupe": bool,
+    "por": bool,
+    "executions": int,
+    "exhausted": bool,
+    "states_seen": int,
+    "subtrees_pruned": int,
+    "jobs": int,
+    "steals": int,
+    "replay_steps_saved": int,
+    "por_skipped": int,
+    "dependent_wakeups": int,
+    "footprint_bytes": int,
+    "dedupe_disabled_adaptively": bool,
+    "reduction_vs_undeduped": NUMBER,
+    "seconds": NUMBER,
+    "execs_per_sec": NUMBER,
+    "speedup_vs_traced": NUMBER,
+    "verdict_parity": bool,
+    "witness_parity": bool,
+    "identical_to_baseline": bool,
+}
+CRASH_SCHEMA = {
+    "world": str,
+    "config": str,
+    "threads": int,
+    "max_crashes": int,
+    "por": bool,
+    "executions": int,
+    "exhausted": bool,
+    "violation": bool,
+    "jobs": int,
+    "steals": int,
+    "replay_steps_saved": int,
+    "seconds": NUMBER,
+    "execs_per_sec": NUMBER,
+}
+SCHEMAS = {"modelcheck-scaling": SCALING_SCHEMA, "modelcheck-crash": CRASH_SCHEMA}
+
+
+def check_schema(row, lineno, failures):
+    kind = row.get("name")
+    schema = SCHEMAS.get(kind)
+    if schema is None:
+        failures.append(f"line {lineno}: unknown record kind {kind!r}")
+        return
+    for field, want in schema.items():
+        if field not in row:
+            failures.append(f"line {lineno} ({kind}): missing field {field!r}")
+            continue
+        value = row[field]
+        if want is int or want is NUMBER:
+            # Reject bools masquerading as counts.
+            if isinstance(value, bool) or not isinstance(value, want):
+                failures.append(
+                    f"line {lineno} ({kind}): field {field!r} has type "
+                    f"{type(value).__name__}, want {want}"
+                )
+        elif not isinstance(value, want):
+            failures.append(
+                f"line {lineno} ({kind}): field {field!r} has type "
+                f"{type(value).__name__}, want {want.__name__}"
+            )
 
 
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_modelcheck.json"
     rows = {}
+    failures = []
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, 1):
                 line = line.strip()
                 if not line:
                     continue
                 row = json.loads(line)
+                check_schema(row, lineno, failures)
                 if row.get("name") != "modelcheck-scaling":
                     continue
                 rows[(row.get("instance"), row.get("config"))] = row
@@ -37,7 +139,7 @@ def main() -> int:
         print(f"scaling-smoke: cannot read {path}: {err}")
         return 1
 
-    failures = []
+    # Gate 1: parallel-4 tracks serial-fast.
     for instance in INSTANCES:
         serial = rows.get((instance, "serial-fast"))
         parallel = rows.get((instance, "parallel-4"))
@@ -60,11 +162,61 @@ def main() -> int:
                 f"serial-fast (limit {SLOWDOWN_LIMIT}x)"
             )
 
+    # Gate 2: more dedupe threads must not cost wall clock.
+    for instance in INSTANCES:
+        two = rows.get((instance, "parallel-dedupe-2"))
+        four = rows.get((instance, "parallel-dedupe-4"))
+        if two is None or four is None:
+            failures.append(f"{instance}: missing parallel-dedupe-2/4 rows")
+            continue
+        ratio = four["seconds"] / max(two["seconds"], 1e-9)
+        gap = four["seconds"] - two["seconds"]
+        slow = ratio > DEDUPE_THREAD_LIMIT and gap > DEDUPE_ABS_SLACK_SECONDS
+        verdict = "FAIL" if slow else "ok"
+        print(
+            f"scaling-smoke: {instance}: parallel-dedupe-2"
+            f" {two['seconds']:.4f}s, parallel-dedupe-4"
+            f" {four['seconds']:.4f}s -> {ratio:.2f}x"
+            f" (limit {DEDUPE_THREAD_LIMIT}x + {DEDUPE_ABS_SLACK_SECONDS}s"
+            f" slack) {verdict}"
+        )
+        if slow:
+            failures.append(
+                f"{instance}: parallel-dedupe-4 is {ratio:.2f}x slower than "
+                f"parallel-dedupe-2 (limit {DEDUPE_THREAD_LIMIT}x, gap "
+                f"{gap:.4f}s > {DEDUPE_ABS_SLACK_SECONDS}s)"
+            )
+
+    # Gate 3: POR earns its keep on the disjoint-register instance.
+    plain = rows.get((POR_INSTANCE, "serial-fast"))
+    por = rows.get((POR_INSTANCE, "serial-por"))
+    if plain is None or por is None:
+        failures.append(f"{POR_INSTANCE}: missing serial-fast/serial-por rows")
+    else:
+        reduction = plain["executions"] / max(por["executions"], 1)
+        parity = por.get("witness_parity", False)
+        verdict = "ok" if reduction >= POR_REDUCTION_MIN and parity else "FAIL"
+        print(
+            f"scaling-smoke: {POR_INSTANCE}: serial-por explores"
+            f" {por['executions']} of {plain['executions']} executions ->"
+            f" {reduction:.1f}x reduction (min {POR_REDUCTION_MIN}x),"
+            f" witness parity {parity} {verdict}"
+        )
+        if reduction < POR_REDUCTION_MIN:
+            failures.append(
+                f"{POR_INSTANCE}: POR reduction {reduction:.2f}x below "
+                f"{POR_REDUCTION_MIN}x"
+            )
+        if not parity:
+            failures.append(
+                f"{POR_INSTANCE}: serial-por lost verdict/witness parity"
+            )
+
     if failures:
         for failure in failures:
             print(f"scaling-smoke: FAIL: {failure}")
         return 1
-    print("scaling-smoke: PASS")
+    print("scaling-smoke: PASS (scaling, dedupe threads, POR, schema)")
     return 0
 
 
