@@ -45,6 +45,7 @@
 #include "src/check/crash_worlds.h"
 #include "src/check/model_check.h"
 #include "src/check/parallel_explore.h"
+#include "src/dist/coordinator.h"
 #include "src/memory/collect_snapshot.h"
 #include "src/memory/register.h"
 #include "src/runtime/scheduler.h"
@@ -280,6 +281,20 @@ bool run_instance(const std::string& name,
         false, false);
   }
 
+  // Distributed fork-mode engine: worker processes over loopback TCP, same
+  // key-sorted merge, so results stay bit-identical at every worker count.
+  // The overhead vs the in-process explorer is fork + wire serialization +
+  // prefix re-replay into each worker's own warm pool.
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    dist::DistExploreOptions dopt;
+    dopt.base = fast;
+    dopt.workers = workers;
+    const auto d =
+        timed([&] { return dist::dist_explore_schedules(make, dopt); });
+    row("dist-workers-" + std::to_string(workers), d, workers, Mode::kExact,
+        false, false);
+  }
+
   // Transposition pruning on: executions legitimately shrink to the number
   // of distinct subtrees.
   ScheduleExploreOptions dedupe = fast;
@@ -397,8 +412,17 @@ bool run_crash_instance(const std::string& world, bool expect_violation) {
                             {"seconds", m.seconds},
                             {"execs_per_sec", rate}});
     };
+    // Crash entries cross the wire with the top bit re-encoded; the
+    // distributed run must reproduce the crash-closed tree bit-for-bit.
+    dist::DistExploreOptions dopt;
+    dopt.base = opt;
+    dopt.workers = 2;
+    const auto dist_run =
+        timed([&] { return dist::dist_explore_schedules(make, dopt); });
+    ok = ok && same(dist_run.result, serial.result);
     row("serial-c" + std::to_string(crashes), serial, 1, false);
     row("parallel-c" + std::to_string(crashes), par, 4, false);
+    row("dist-workers-2-c" + std::to_string(crashes), dist_run, 2, false);
     row("serial-por-c" + std::to_string(crashes), serial_por, 1, true);
     row("parallel-por-c" + std::to_string(crashes), par_por, 4, true);
   }

@@ -10,6 +10,11 @@
 //               [--budget B] [--max-crashes C] [--max-steps S]
 //               [--max-executions E] [--witness PATH]
 //   revisim_cli replay <witness-file>
+//   revisim_cli serve [--host H] [--port P]
+//   revisim_cli dist-explore [--workers N | --connect H:P ...] [--world W]
+//               [--f F] [--m M] [--budget B] [--max-crashes C]
+//               [--max-steps S] [--max-executions E] [--por] [--dedupe]
+//               [--shards K] [--retries R] [--witness PATH]
 //
 // Examples:
 //   revisim_cli --protocol racing --n 4 --m 2 --f 2 --seeds 50
@@ -21,16 +26,26 @@
 //   revisim_cli replay w.txt
 //       deterministically reproduce a recorded verdict (exit 0 iff it
 //       matches)
+//   revisim_cli dist-explore --workers 4 --world aug-mutant --max-crashes 2
+//       the same exploration fanned out over 4 forked worker processes;
+//       executions/verdict/witness are bit-identical to `explore`
+//   revisim_cli serve --port 7421
+//       long-running worker for cluster mode; a dist-explore elsewhere
+//       connects with --connect host:7421
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/bounds/bounds.h"
 #include "src/check/crash_worlds.h"
 #include "src/check/model_check.h"
 #include "src/check/witness.h"
+#include "src/dist/coordinator.h"
+#include "src/dist/worker.h"
 #include "src/protocols/approx_agreement.h"
 #include "src/protocols/racing_agreement.h"
 #include "src/runtime/adversary.h"
@@ -193,6 +208,10 @@ int run_explore(int argc, char** argv) {
       opt.max_steps = std::strtoull(next("--max-steps"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--max-executions")) {
       opt.max_executions = std::strtoull(next("--max-executions"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--por")) {
+      opt.por = true;
+    } else if (!std::strcmp(argv[i], "--dedupe")) {
+      opt.dedupe_states = true;
     } else if (!std::strcmp(argv[i], "--witness")) {
       witness_path = next("--witness");
     } else {
@@ -218,6 +237,7 @@ int run_explore(int argc, char** argv) {
     w.spec = spec;
     w.max_steps = opt.max_steps;
     w.max_crashes = opt.max_crashes;
+    w.por = opt.por;
     w.verdict = *res.violation;
     w.schedule = res.witness;
     if (!witness_path.empty()) {
@@ -233,6 +253,133 @@ int run_explore(int argc, char** argv) {
   }
 }
 
+// `revisim_cli serve`: long-running cluster-mode worker.  Listens on
+// host:port and serves one coordinator connection at a time; worlds come
+// from the crash-world registry, named by the coordinator's hello.
+int run_serve(int argc, char** argv) {
+  std::string host = "0.0.0.0";
+  std::uint16_t port = 7421;
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--host")) {
+      host = next("--host");
+    } else if (!std::strcmp(argv[i], "--port")) {
+      port = static_cast<std::uint16_t>(
+          std::strtoul(next("--port"), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::printf("revisim worker serving on %s:%u\n", host.c_str(),
+              static_cast<unsigned>(port));
+  return dist::serve_forever(host, port);
+}
+
+// `revisim_cli dist-explore ...`: the `explore` subcommand fanned out over
+// worker processes - forked locally with --workers N, or remote `serve`
+// instances with repeated --connect host:port.  Exit codes match
+// `explore`; the summary is bit-identical to the serial run when dedupe is
+// off.
+int run_dist_explore(int argc, char** argv) {
+  check::CrashWorldSpec spec;
+  dist::DistExploreOptions opt;
+  opt.base.max_crashes = 2;
+  std::string witness_path;
+  std::vector<std::string> endpoints;
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--world")) {
+      spec.world = next("--world");
+    } else if (!std::strcmp(argv[i], "--f")) {
+      spec.f = std::strtoull(next("--f"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--m")) {
+      spec.m = std::strtoull(next("--m"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--budget")) {
+      spec.step_budget = std::strtoull(next("--budget"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--max-crashes")) {
+      opt.base.max_crashes = std::strtoull(next("--max-crashes"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--max-steps")) {
+      opt.base.max_steps = std::strtoull(next("--max-steps"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--max-executions")) {
+      opt.base.max_executions =
+          std::strtoull(next("--max-executions"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--por")) {
+      opt.base.por = true;
+    } else if (!std::strcmp(argv[i], "--dedupe")) {
+      opt.base.dedupe_states = true;
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      opt.workers = std::strtoull(next("--workers"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--connect")) {
+      endpoints.push_back(next("--connect"));
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      opt.fp_shards = std::strtoull(next("--shards"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      opt.job_retries = std::strtoull(next("--retries"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--witness")) {
+      witness_path = next("--witness");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  try {
+    check::ScheduleExploreResult res;
+    if (!endpoints.empty()) {
+      res = dist::dist_explore_remote(spec, endpoints, opt);
+    } else {
+      auto factory = check::make_crash_world_factory(spec);
+      res = dist::dist_explore_schedules(factory, opt);
+    }
+    std::printf("world %s f=%zu m=%zu budget=%zu | max_crashes=%zu "
+                "max_steps=%zu | %zu worker(s)\n",
+                spec.world.c_str(), spec.f, spec.m, spec.step_budget,
+                opt.base.max_crashes, opt.base.max_steps,
+                endpoints.empty() ? opt.workers : endpoints.size());
+    std::printf("%zu executions across %zu jobs (%zu steals), %s\n",
+                res.executions, res.jobs, res.steals,
+                res.exhausted ? "exhausted" : "truncated at cap");
+    if (res.error) {
+      std::fprintf(stderr, "partial summary: %s\n", res.error->c_str());
+      return 2;
+    }
+    if (!res.violation) {
+      std::printf("no violation\n");
+      return 0;
+    }
+    std::printf("violation: %s\n", res.violation->c_str());
+    check::Witness w;
+    w.spec = spec;
+    w.max_steps = opt.base.max_steps;
+    w.max_crashes = opt.base.max_crashes;
+    w.por = opt.base.por;
+    w.verdict = *res.violation;
+    w.schedule = res.witness;
+    if (!witness_path.empty()) {
+      check::write_witness_file(w, witness_path);
+      std::printf("witness written to %s\n", witness_path.c_str());
+    } else {
+      std::printf("%s", check::to_text(w).c_str());
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist-explore failed: %s\n", e.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,6 +388,12 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && !std::strcmp(argv[1], "explore")) {
     return run_explore(argc, argv);
+  }
+  if (argc > 1 && !std::strcmp(argv[1], "serve")) {
+    return run_serve(argc, argv);
+  }
+  if (argc > 1 && !std::strcmp(argv[1], "dist-explore")) {
+    return run_dist_explore(argc, argv);
   }
   const Args args = parse(argc, argv);
   auto protocol = make_protocol(args);

@@ -22,6 +22,11 @@ struct Frame {
   std::vector<runtime::Footprint> fps;
   std::vector<runtime::ProcessId> sleep;
   std::vector<runtime::Footprint> sleep_fps;
+  // Leading entries of `sleep` that count a dependent_wakeup when a
+  // conflicting step drops them; entries past this are elder siblings
+  // folded in by a donation, which the serial walk drops silently at this
+  // frame (they only start counting once they survive a level deeper).
+  std::size_t sleep_inherited = 0;
 };
 
 // Ledger window: parks per capacity-adaptation decision.
@@ -151,7 +156,7 @@ SubtreeResult explore_job(
   // Transposition table: shared when the caller supplies one (the parallel
   // explorer), private otherwise.
   std::optional<StateTable> own_table;
-  StateTable* table = nullptr;
+  StateStore* table = nullptr;
   if (options.dedupe_states) {
     table = options.table;
     if (table == nullptr) {
@@ -161,7 +166,7 @@ SubtreeResult explore_job(
   }
   // `table` may be nulled mid-job by the adaptive kill-switch; final
   // statistics still come from the real table.
-  StateTable* stats_table = table;
+  StateStore* stats_table = table;
   std::uint64_t dedupe_lookups = 0;
   std::uint64_t dedupe_prunes = 0;
 
@@ -275,7 +280,9 @@ SubtreeResult explore_job(
     const runtime::Footprint& cfp = f.fps[k];
     for (std::size_t i = 0; i < f.sleep.size(); ++i) {
       if (runtime::footprints_conflict(f.sleep_fps[i], cfp)) {
-        ++res.dependent_wakeups;
+        if (i < f.sleep_inherited) {
+          ++res.dependent_wakeups;
+        }
       } else {
         node_sleep.push_back(f.sleep[i]);
         node_sleep_fps.push_back(f.sleep_fps[i]);
@@ -314,6 +321,7 @@ SubtreeResult explore_job(
         // entries are skipped: being dependent with everything, they could
         // never survive into a donated branch's sleep set anyway.
         d.sleep.assign(fr.sleep.begin(), fr.sleep.end());
+        d.sleep_inherited = fr.sleep_inherited;
         for (std::size_t j = 0; j < fr.next; ++j) {
           if (!runtime::is_crash_entry(fr.choices[j])) {
             d.sleep.push_back(fr.choices[j]);
@@ -399,6 +407,7 @@ SubtreeResult explore_job(
         if (options.por) {
           f.sleep.clear();
           f.sleep_fps.clear();
+          f.sleep_inherited = ctx->root_sleep_inherited;
           if (ctx->root_sleep != nullptr) {
             for (runtime::ProcessId e : *ctx->root_sleep) {
               // Re-derive the donated entries' footprints from this job's
@@ -419,6 +428,10 @@ SubtreeResult explore_job(
         if (options.por) {
           f.sleep.assign(node_sleep.begin(), node_sleep.end());
           f.sleep_fps.assign(node_sleep_fps.begin(), node_sleep_fps.end());
+          // Every entry here survived a compute_child_sleep filter, so all
+          // of them count as wakeups when dropped (elders included: they
+          // became full sleepers the moment they survived a level).
+          f.sleep_inherited = f.sleep.size();
           if (!f.sleep.empty()) {
             // Skip asleep choices: every schedule through them is a step
             // swap of one through an already-explored sibling.  (Crash

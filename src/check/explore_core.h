@@ -35,7 +35,7 @@
 #include "src/check/model_check.h"
 
 namespace revisim::check {
-class StateTable;
+class StateStore;
 }  // namespace revisim::check
 
 namespace revisim::check::detail {
@@ -128,9 +128,10 @@ struct SubtreeOptions {
   // Retain full canonical states and fail loudly on a 128-bit collision
   // (only read when this call creates its own table, i.e. `table == null`).
   bool dedupe_audit = false;
-  // Shared table (parallel explorer).  Null with dedupe_states set means
-  // the walk creates a private table for its own lifetime.
-  StateTable* table = nullptr;
+  // Shared visited-state store (parallel explorer: one StateTable; the
+  // distributed worker: a remote-backed store).  Null with dedupe_states
+  // set means the walk creates a private table for its own lifetime.
+  StateStore* table = nullptr;
   // Adaptive dedupe kill-switch (WarmPool-style spent-vs-saved ledger):
   // fingerprinting every node is pure overhead on workloads whose states
   // are all distinct, so when a window of kDedupeAdaptWindow lookups closes
@@ -182,6 +183,13 @@ struct Donation {
   // would have in the donor - the serial/parallel parity guarantee extends
   // to sleep sets by construction.
   std::vector<runtime::ProcessId> sleep;
+  // How many leading entries of `sleep` are the split node's *inherited*
+  // sleepers (the rest are the donor's explored elder siblings).  The serial
+  // walk counts a dependent_wakeup only when a conflicting step drops an
+  // inherited sleeper; a dependent elder is silently not added (it only
+  // starts counting once it survives into a deeper frame).  The thief must
+  // preserve that split or its wakeup count inflates past the serial one.
+  std::size_t sleep_inherited = 0;
 };
 
 // Work-stealing hooks, polled once per node expansion.  `want` must be
@@ -203,6 +211,8 @@ struct JobContext {
   const std::vector<runtime::ProcessId>* root_choices = nullptr;
   // POR only: Donation::sleep for this job's split node (null = empty).
   const std::vector<runtime::ProcessId>* root_sleep = nullptr;
+  // Donation::sleep_inherited for root_sleep (wakeup-counting prefix).
+  std::size_t root_sleep_inherited = 0;
   std::unique_ptr<ExplorableWorld> warm;
   WarmPool* pool = nullptr;  // null: the engine builds a fixed local pool
   SplitHooks split;

@@ -1,0 +1,102 @@
+#include "src/check/explore_merge.h"
+
+#include <algorithm>
+
+namespace revisim::check::detail {
+
+bool key_less(const std::vector<runtime::ProcessId>& a,
+              const std::vector<runtime::ProcessId>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+ScheduleExploreResult merge_job_results(std::vector<MergeJob>& jobs,
+                                        std::uint64_t cap,
+                                        std::size_t attempts,
+                                        const std::string& unfinished_error) {
+  std::sort(jobs.begin(), jobs.end(), [](const MergeJob& a, const MergeJob& b) {
+    return key_less(*a.key, *b.key);
+  });
+
+  // Completed-work telemetry first (see the header contract): these attach
+  // to every return path below, including partial summaries.
+  ScheduleExploreResult res;
+  for (const MergeJob& j : jobs) {
+    if (j.state == MergeJob::State::kDone) {
+      res.subtrees_pruned += j.result->subtrees_pruned;
+      res.replay_steps_saved += j.result->replay_steps_saved;
+      res.por_skipped += j.result->por_skipped;
+      res.dependent_wakeups += j.result->dependent_wakeups;
+      res.footprint_bytes += j.result->footprint_bytes;
+      res.dedupe_disabled_adaptively |= j.result->dedupe_disabled;
+    }
+  }
+
+  // Serial replay accounting over the sorted regions.
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const MergeJob& j = jobs[i];
+    if (j.state == MergeJob::State::kFailed) {
+      // The job threw past its retry budget (or donated mid-failure).
+      // Everything before it merged normally; report the partial summary
+      // instead of rethrowing.
+      res.executions = static_cast<std::size_t>(cum);
+      res.exhausted = false;
+      res.error = "subtree job failed after " + std::to_string(attempts) +
+                  " attempt(s): " + *j.error;
+      return res;
+    }
+    if (j.state != MergeJob::State::kDone) {
+      // Never ran or was pre-skipped.  The merge returns strictly before
+      // every record skipped for violation or cap reasons, so reaching one
+      // here means the run lost the means to finish it: the wall-clock
+      // limit expired, or (distributed) every worker disconnected.
+      res.executions = static_cast<std::size_t>(cum);
+      res.exhausted = false;
+      if (unfinished_error.empty()) {
+        res.timed_out = true;
+      } else {
+        res.error = unfinished_error;
+      }
+      return res;
+    }
+    const SubtreeResult& jr = *j.result;
+    const std::uint64_t n = jr.executions;
+    if (jr.violation && cum + jr.violation_index <= cap) {
+      res.executions = static_cast<std::size_t>(cum + jr.violation_index);
+      res.violation = jr.violation;
+      res.witness = jr.witness;
+      return res;  // exhausted stays true, as in the serial explorer
+    }
+    if (cum + n >= cap) {
+      // The serial walk reaches the cap inside (or exactly at the end of)
+      // this region.  It is a truncation iff any work would have remained:
+      // a violation past the cap, a locally truncated walk, executions
+      // beyond the cap, or any later record (every region holds >= 1
+      // execution).
+      const bool truncated = jr.violation.has_value() || !jr.fully_explored ||
+                             cum + n > cap || i + 1 < jobs.size();
+      res.executions = static_cast<std::size_t>(cap);
+      res.exhausted = !truncated;
+      return res;
+    }
+    if (!jr.fully_explored) {
+      // Below the cap only a wall-clock abort leaves a merged job partially
+      // explored (violation- and cap-aborted records sit past the merge's
+      // return point, handled above).
+      res.executions = static_cast<std::size_t>(cum + n);
+      res.exhausted = false;
+      if (unfinished_error.empty()) {
+        res.timed_out = true;
+      } else {
+        res.error = unfinished_error;
+      }
+      return res;
+    }
+    cum += n;
+  }
+  res.executions = static_cast<std::size_t>(cum);
+  res.exhausted = true;
+  return res;
+}
+
+}  // namespace revisim::check::detail

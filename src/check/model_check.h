@@ -141,6 +141,21 @@ struct ScheduleExploreResult {
   // resuming warm checkpoint worlds instead of replaying from scratch
   // (donated warm worlds included) - the explorer's one lever under the
   // replay cost model.
+  //
+  // Aggregation contract (in-process AND distributed runs share one merge,
+  // src/check/explore_merge.h, so they agree by construction):
+  //   - executions/exhausted/violation/witness replay serial accounting
+  //     over the lexicographically sorted job regions - bit-identical to
+  //     the serial engine with dedupe off, at any worker count.
+  //   - jobs counts every record created; steals counts records claimed
+  //     away from their donor, so steals <= jobs - 1 always.
+  //   - replay_steps_saved/por_skipped/dependent_wakeups/footprint_bytes
+  //     sum over every record whose walk completed, including regions past
+  //     the merge's return point: they describe work performed, not work
+  //     serially accounted.  On exhausted undeduped searches por_skipped
+  //     and dependent_wakeups are decomposition-invariant and equal the
+  //     serial values; replay_steps_saved and footprint_bytes legitimately
+  //     vary with split points and warm-pool luck.
   std::size_t jobs = 0;
   std::size_t steals = 0;
   std::uint64_t replay_steps_saved = 0;

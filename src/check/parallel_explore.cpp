@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/check/explore_core.h"
+#include "src/check/explore_merge.h"
 #include "src/check/state_table.h"
 
 namespace revisim::check {
@@ -23,17 +24,10 @@ namespace {
 using Clock = std::chrono::steady_clock;
 using runtime::ProcessId;
 
-// Lexicographic region order.  A job's key is its schedule prefix followed
-// by its first choice - the lex-smallest schedule of its region, as a
-// prefix.  Regions are disjoint contiguous intervals and a key that
-// prefixes another belongs to the region that starts first (the donor's
-// remaining work precedes everything it donates), so shorter-prefix-first
-// lexicographic comparison is exactly serial DFS order.  Crash entries
-// carry the top bit (runtime::make_crash_entry) and numerically sort after
-// every step entry, matching append_node_choices' enumeration order.
-bool key_less(const std::vector<ProcessId>& a, const std::vector<ProcessId>& b) {
-  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
-}
+// Lexicographic region order shared with the merge and the distributed
+// coordinator; see explore_merge.h for why this is exactly serial DFS
+// order.
+using detail::key_less;
 
 struct JobRecord {
   enum State : int { kPending, kRunning, kDone, kFailed, kAborted };
@@ -42,6 +36,7 @@ struct JobRecord {
   std::vector<ProcessId> prefix;   // path to the job's root node
   std::vector<ProcessId> choices;  // untried choices there; empty = all (root)
   std::vector<ProcessId> sleep;    // POR: Donation::sleep for the split node
+  std::size_t sleep_inherited = 0;  // POR: Donation::sleep_inherited
   std::unique_ptr<ExplorableWorld> warm;  // donated checkpoint at `prefix`
   std::size_t donor = 0;           // worker that split this job off
   bool donated = false;            // false only for the seed job
@@ -198,6 +193,7 @@ void run_one_worker(Coordinator& co, std::size_t worker_id,
       if (!rec->choices.empty()) {
         ctx.root_choices = &rec->choices;
         ctx.root_sleep = &rec->sleep;
+        ctx.root_sleep_inherited = rec->sleep_inherited;
       }
       ctx.warm = std::move(rec->warm);  // first attempt only; then null
       ctx.pool = &pool;
@@ -216,6 +212,7 @@ void run_one_worker(Coordinator& co, std::size_t worker_id,
         child->prefix = std::move(d.prefix);
         child->choices = std::move(d.choices);
         child->sleep = std::move(d.sleep);
+        child->sleep_inherited = d.sleep_inherited;
         child->warm = std::move(d.warm);
         child->donor = worker_id;
         child->donated = true;
@@ -450,97 +447,39 @@ ScheduleExploreResult parallel_explore_schedules(
     }
   }
 
-  // Deterministic merge: sort the records by region key and replay the
-  // serial explorer's accounting over them in order.  Steal timing and
-  // worker interleaving influenced only results the merge never reads
-  // (with dedupe off; with it on, the shared table makes counts
+  // Deterministic merge (explore_merge.h): steal timing and worker
+  // interleaving influenced only results the merge never reads (with
+  // dedupe off; with it on, the shared table makes counts
   // interleaving-dependent - see the header).  Table statistics are global
   // and attach to every return path, as do the stealing counters.
-  std::vector<JobRecord*> order;
+  std::vector<detail::MergeJob> order;
   order.reserve(co.records.size());
   for (const auto& r : co.records) {
-    order.push_back(r.get());
+    detail::MergeJob j;
+    j.key = &r->key;
+    switch (r->state) {
+      case JobRecord::kDone:
+        j.state = detail::MergeJob::State::kDone;
+        j.result = &r->result;
+        break;
+      case JobRecord::kFailed:
+        j.state = detail::MergeJob::State::kFailed;
+        j.error = &r->error;
+        break;
+      default:
+        j.state = detail::MergeJob::State::kUnfinished;
+        break;
+    }
+    order.push_back(j);
   }
-  std::sort(order.begin(), order.end(),
-            [](const JobRecord* a, const JobRecord* b) {
-              return key_less(a->key, b->key);
-            });
-
-  ScheduleExploreResult res;
+  ScheduleExploreResult res = detail::merge_job_results(
+      order, cap, options.job_retries + 1, /*unfinished_error=*/{});
   res.jobs = co.records.size();
   res.steals = co.steals.load(std::memory_order_relaxed);
-  for (const JobRecord* r : order) {
-    if (r->state == JobRecord::kDone) {
-      res.replay_steps_saved += r->result.replay_steps_saved;
-      res.por_skipped += r->result.por_skipped;
-      res.dependent_wakeups += r->result.dependent_wakeups;
-      res.footprint_bytes += r->result.footprint_bytes;
-      res.dedupe_disabled_adaptively |= r->result.dedupe_disabled;
-    }
-  }
   if (table) {
     res.states_seen = table->states();
     res.subtrees_pruned = table->hits();
   }
-
-  std::uint64_t cum = 0;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    JobRecord& r = *order[i];
-    if (r.state == JobRecord::kFailed) {
-      // The job threw past its retry budget (or donated mid-failure).
-      // Everything before it merged normally; report the partial summary
-      // instead of rethrowing.
-      res.executions = static_cast<std::size_t>(cum);
-      res.exhausted = false;
-      res.error = "subtree job failed after " +
-                  std::to_string(options.job_retries + 1) + " attempt(s): " +
-                  r.error;
-      return res;
-    }
-    if (r.state != JobRecord::kDone) {
-      // Never ran (kPending) or was pre-skipped (kAborted).  The merge
-      // returns strictly before every record skipped for violation or cap
-      // reasons, so reaching one here means the wall-clock limit expired:
-      // report the partial summary rather than waiting on work that will
-      // never arrive.
-      res.executions = static_cast<std::size_t>(cum);
-      res.exhausted = false;
-      res.timed_out = true;
-      return res;
-    }
-    const detail::SubtreeResult& jr = r.result;
-    const std::uint64_t n = jr.executions;
-    if (jr.violation && cum + jr.violation_index <= cap) {
-      res.executions = static_cast<std::size_t>(cum + jr.violation_index);
-      res.violation = jr.violation;
-      res.witness = jr.witness;
-      return res;  // exhausted stays true, as in the serial explorer
-    }
-    if (cum + n >= cap) {
-      // The serial walk reaches the cap inside (or exactly at the end of)
-      // this region.  It is a truncation iff any work would have remained:
-      // a violation past the cap, a locally truncated walk, executions
-      // beyond the cap, or any later record (every region holds >= 1
-      // execution).
-      const bool truncated = jr.violation.has_value() || !jr.fully_explored ||
-                             cum + n > cap || i + 1 < order.size();
-      res.executions = static_cast<std::size_t>(cap);
-      res.exhausted = !truncated;
-      return res;
-    }
-    if (!jr.fully_explored) {
-      // Below the cap only a wall-clock abort leaves a merged job partially
-      // explored (violation- and cap-aborted records sit past the merge's
-      // return point, handled above).
-      res.executions = static_cast<std::size_t>(cum + n);
-      res.exhausted = false;
-      res.timed_out = true;
-      return res;
-    }
-    cum += n;
-  }
-  res.executions = static_cast<std::size_t>(cum);
-  res.exhausted = true;
   return res;
 }
 

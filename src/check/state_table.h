@@ -48,7 +48,32 @@ class StateFingerprintCollision : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-class StateTable {
+// Abstract visited-state store consulted by the DFS engine at every node.
+// StateTable below is the in-process implementation; the distributed
+// explorer plugs in a store that forwards first-sightings to a sharded
+// fingerprint service on the coordinator (src/dist/worker.cpp), so
+// claim-then-walk pruning extends across worker processes without the
+// engine changing.  The insert contract is StateTable::insert's: true means
+// the caller owns the subtree walk, false means prune; `canonical` is
+// invoked only when audit() is true.
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+
+  virtual bool insert(util::Fingerprint fp,
+                      const std::function<std::string()>& canonical = {}) = 0;
+
+  [[nodiscard]] virtual bool audit() const noexcept = 0;
+
+  // Distinct states recorded (implementations may report a local lower
+  // bound; the coordinator owns the authoritative global count).
+  [[nodiscard]] virtual std::size_t states() const = 0;
+
+  // Pruning hits: inserts that found the state already present.
+  [[nodiscard]] virtual std::size_t hits() const noexcept = 0;
+};
+
+class StateTable final : public StateStore {
  public:
   struct Options {
     bool audit = false;  // retain canonical states, detect collisions
@@ -73,15 +98,15 @@ class StateTable {
   // StateFingerprintCollision if audit finds two canonical states behind one
   // fingerprint.
   bool insert(util::Fingerprint fp,
-              const std::function<std::string()>& canonical = {});
+              const std::function<std::string()>& canonical = {}) override;
 
-  [[nodiscard]] bool audit() const noexcept { return audit_; }
+  [[nodiscard]] bool audit() const noexcept override { return audit_; }
 
   // Distinct states recorded.
-  [[nodiscard]] std::size_t states() const;
+  [[nodiscard]] std::size_t states() const override;
 
   // Pruning hits: inserts that found the state already present.
-  [[nodiscard]] std::size_t hits() const noexcept {
+  [[nodiscard]] std::size_t hits() const noexcept override {
     return hits_.load(std::memory_order_relaxed);
   }
 

@@ -31,6 +31,9 @@ std::string to_text(const Witness& w) {
   out << "budget " << w.spec.step_budget << '\n';
   out << "max_steps " << w.max_steps << '\n';
   out << "max_crashes " << w.max_crashes << '\n';
+  if (w.por) {
+    out << "por 1\n";
+  }
   out << "verdict " << one_line(w.verdict) << '\n';
   out << "schedule";
   for (runtime::ProcessId entry : w.schedule) {
@@ -89,6 +92,10 @@ Witness parse_witness(const std::string& text) {
       if (!(ls >> w.max_steps)) fail("max_steps needs a number");
     } else if (key == "max_crashes") {
       if (!(ls >> w.max_crashes)) fail("max_crashes needs a number");
+    } else if (key == "por") {
+      int v = 0;
+      if (!(ls >> v) || (v != 0 && v != 1)) fail("por needs 0 or 1");
+      w.por = v != 0;
     } else if (key == "verdict") {
       std::string rest;
       std::getline(ls, rest);

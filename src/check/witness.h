@@ -18,6 +18,7 @@
 //   budget 10
 //   max_steps 64
 //   max_crashes 2
+//   por 1
 //   verdict progress violation: q1's Block-Update took 11 own steps ...
 //   schedule s0 s1 c1 s0 ...
 //   end
@@ -27,6 +28,14 @@
 // means the execution was accepted - useful for regression-pinning a
 // passing run).  max_steps / max_crashes record the exploration options
 // that found the witness; replay does not need them but tooling does.
+//
+// The optional `por` key (format v1 revision 2) records whether the
+// exploration that produced the witness ran with partial-order reduction.
+// POR prunes executions, so the lex-smallest witness under POR may differ
+// from the unreduced one even though both prove the same verdict; the flag
+// lets tooling know which family the schedule came from.  It is written
+// only when true, so witnesses from non-POR runs are byte-identical to
+// revision 1 files, and revision-1 parsers reject nothing new.
 #pragma once
 
 #include <optional>
@@ -42,6 +51,7 @@ struct Witness {
   CrashWorldSpec spec;
   std::size_t max_steps = 0;
   std::size_t max_crashes = 0;
+  bool por = false;  // exploration ran with partial-order reduction
   std::string verdict;  // empty = accepted execution
   std::vector<runtime::ProcessId> schedule;  // may contain crash entries
 };

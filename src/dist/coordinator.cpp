@@ -1,0 +1,760 @@
+#include "src/dist/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+#include "src/check/explore_core.h"
+#include "src/check/explore_merge.h"
+#include "src/check/state_table.h"
+#include "src/dist/wire.h"
+#include "src/dist/worker.h"
+
+namespace revisim::dist {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using check::detail::key_less;
+using runtime::ProcessId;
+
+class Log {
+ public:
+  explicit Log(const std::string& path) {
+    if (!path.empty()) {
+      file_ = std::fopen(path.c_str(), "a");
+    }
+  }
+  ~Log() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+  }
+  void line(const char* fmt, ...) {
+    if (file_ == nullptr) {
+      return;
+    }
+    std::lock_guard<std::mutex> g(mu_);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(file_, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+// The distributed twin of parallel_explore.cpp's JobRecord.
+struct DistJob {
+  enum State : int { kPending, kRunning, kDone, kFailed, kAborted };
+
+  std::uint64_t id = 0;
+  std::vector<ProcessId> key;      // prefix + first choice; see explore_merge.h
+  std::vector<ProcessId> prefix;
+  std::vector<ProcessId> choices;  // empty = all (seed job)
+  std::vector<ProcessId> sleep;
+  std::uint32_t sleep_inherited = 0;  // see DonateMsg
+  std::size_t donor = 0;
+  bool donated = false;            // false only for the seed job
+  State state = kPending;          // guarded by the coordinator mutex
+  std::size_t failures = 0;        // failed/lost attempts consumed
+  std::size_t donated_in_attempt = 0;
+  bool abort_sent = false;         // a kCredit abort is already in flight
+  // Lower bound on this region's executions, fed by kLive messages; same
+  // cap-bound role as JobRecord::live_execs.
+  std::atomic<std::uint64_t> live{0};
+  check::detail::SubtreeResult result;  // valid once kDone
+  std::string error;                    // valid once kFailed
+};
+
+// One worker connection.  The reused writer is the per-connection
+// serialization buffer; send_mu serializes frame writes (the connection's
+// own thread and peers pushing credits/steal requests).
+struct Conn {
+  int fd = -1;
+  std::size_t worker = 0;
+  std::mutex send_mu;
+  WireWriter out;
+  Frame in;
+  bool alive = true;           // guarded by CoState::mu
+  DistJob* current = nullptr;  // guarded by CoState::mu
+};
+
+struct CoState {
+  const DistExploreOptions* options = nullptr;
+  std::uint64_t cap = 0;
+  std::optional<Clock::time_point> deadline;
+  Log* log = nullptr;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::unique_ptr<DistJob>> records;  // append-only
+  std::size_t pending = 0;
+  std::size_t running = 0;
+  std::size_t alive = 0;   // connections still serving
+  bool stop = false;
+  bool first_job_shipped = false;
+  bool have_violation = false;
+  std::vector<ProcessId> violation_key;
+  std::size_t steals = 0;
+  // Nonempty once the run lost the means to finish outstanding work (every
+  // worker disconnected, or the fingerprint audit found a collision);
+  // becomes the merged partial summary's error.
+  std::string unfinished_reason;
+  std::vector<std::unique_ptr<Conn>> conns;
+
+  // Sharded fingerprint service (dedupe only).  Shard = top bits of fp.hi;
+  // each shard is an ordinary lock-free StateTable, so kFpInsert handlers
+  // never serialize against each other across shards.
+  std::vector<std::unique_ptr<check::StateTable>> shards;
+  std::size_t shard_bits = 0;
+
+  // Sum of live execution counters over records lex-before `key` - a lower
+  // bound on the serial execution count before this record's region.
+  // Caller holds mu.
+  std::uint64_t bound_before(const std::vector<ProcessId>& key) const {
+    std::uint64_t sum = 0;
+    for (const auto& r : records) {
+      if (key_less(r->key, key)) {
+        sum += r->live.load(std::memory_order_relaxed);
+      }
+    }
+    return sum;
+  }
+};
+
+// Sends one frame to `conn`, serialized against concurrent senders.  A send
+// failure is NOT fatal here: the connection's own thread will observe the
+// dead socket and run the disconnect path.
+template <typename Encode>
+void send_to(Conn& conn, MsgType type, Encode encode) {
+  std::lock_guard<std::mutex> g(conn.send_mu);
+  conn.out.clear();
+  encode(conn.out);
+  try {
+    send_frame(conn.fd, type, conn.out);
+  } catch (const WireError&) {
+  }
+}
+
+// Pushes kCredit aborts to every running job the merge provably cannot
+// read: lex-earlier regions already secured the cap, or a lex-earlier
+// violation is final.  Caller holds mu (lock order: mu before send_mu).
+void push_aborts(CoState& co) {
+  for (const auto& c : co.conns) {
+    if (!c->alive || c->current == nullptr || c->current->abort_sent) {
+      continue;
+    }
+    DistJob* rec = c->current;
+    const bool dead_key =
+        co.have_violation && key_less(co.violation_key, rec->key);
+    if (co.stop || dead_key || co.bound_before(rec->key) >= co.cap) {
+      rec->abort_sent = true;
+      const std::uint64_t id = rec->id;
+      send_to(*c, MsgType::kCredit, [id](WireWriter& w) {
+        CreditMsg m;
+        m.id = id;
+        m.abort = true;
+        encode_credit(w, m);
+      });
+    }
+  }
+}
+
+// Re-queues a lost or throwing job, or fails it once retries are exhausted
+// or the attempt donated regions (a rerun would re-explore them).  Caller
+// holds mu.
+void requeue_or_fail(CoState& co, DistJob* rec, const std::string& why) {
+  ++rec->failures;
+  if (rec->donated_in_attempt > 0 || rec->failures > co.options->job_retries) {
+    rec->state = DistJob::kFailed;
+    rec->error = why;
+    co.log->line("coordinator: job %llu failed (%s)",
+                 static_cast<unsigned long long>(rec->id), why.c_str());
+  } else {
+    rec->state = DistJob::kPending;
+    rec->live.store(0, std::memory_order_relaxed);
+    rec->abort_sent = false;
+    ++co.pending;
+    co.log->line("coordinator: job %llu re-queued (%s)",
+                 static_cast<unsigned long long>(rec->id), why.c_str());
+  }
+}
+
+bool past_deadline(const CoState& co) {
+  return co.deadline && Clock::now() >= *co.deadline;
+}
+
+// Hello/ack handshake for one connection.  Returns false on rejection.
+bool handshake(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
+  const check::ScheduleExploreOptions& base = co.options->base;
+  HelloMsg hello;
+  hello.worker = static_cast<std::uint32_t>(conn.worker);
+  hello.max_steps = base.max_steps;
+  hello.warm_worlds = base.warm_worlds;
+  hello.max_crashes = base.max_crashes;
+  hello.record_traces = base.record_traces;
+  hello.dedupe_states = base.dedupe_states;
+  hello.dedupe_audit = base.dedupe_audit;
+  hello.dedupe_adaptive = base.dedupe_adaptive;
+  hello.por = base.por;
+  hello.live_interval = std::max<std::uint64_t>(co.options->live_interval, 1);
+  if (spec != nullptr) {
+    hello.world = spec->world;
+    hello.f = spec->f;
+    hello.m = spec->m;
+    hello.step_budget = spec->step_budget;
+  }
+  try {
+    conn.out.clear();
+    encode_hello(conn.out, hello);
+    send_frame(conn.fd, MsgType::kHello, conn.out);
+    if (!wait_readable(conn.fd, 10'000) || !recv_frame(conn.fd, conn.in) ||
+        conn.in.type != MsgType::kHelloAck) {
+      throw WireError("no hello-ack");
+    }
+    WireReader r = conn.in.reader();
+    const HelloAckMsg ack = decode_hello_ack(r);
+    if (!ack.ok) {
+      throw WireError("worker rejected hello: " + ack.error);
+    }
+  } catch (const std::exception& e) {
+    co.log->line("coordinator: worker %zu handshake failed: %s", conn.worker,
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
+void handle_fp_insert(CoState& co, Conn& conn) {
+  WireReader r = conn.in.reader();
+  FpInsertMsg msg = decode_fp_insert(r);
+  const std::size_t shard =
+      co.shard_bits == 0
+          ? 0
+          : static_cast<std::size_t>(msg.fp.hi >> (64 - co.shard_bits));
+  FpReplyMsg reply;
+  try {
+    std::function<std::string()> canonical;
+    if (msg.has_canonical) {
+      canonical = [&msg] { return msg.canonical; };
+    }
+    reply.was_new = co.shards[shard]->insert(msg.fp, canonical);
+  } catch (const check::StateFingerprintCollision& e) {
+    // The audit found two canonical states behind one fingerprint: every
+    // prune taken anywhere in this run is suspect.  Poison the run; the
+    // worker gets its reply and then an abort credit.
+    reply.was_new = true;
+    std::lock_guard<std::mutex> g(co.mu);
+    if (co.unfinished_reason.empty()) {
+      co.unfinished_reason = e.what();
+    }
+    co.stop = true;
+    push_aborts(co);
+    co.cv.notify_all();
+  }
+  send_to(conn, MsgType::kFpReply,
+          [&reply](WireWriter& w) { encode_fp_reply(w, reply); });
+}
+
+// One thread per worker connection: claim the lex-earliest pending job,
+// ship it, and pump the worker's messages until the job resolves.  The
+// exact structure of parallel_explore.cpp's run_one_worker, with the
+// in-process hooks replaced by their wire twins.
+void serve_worker(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
+  if (!handshake(co, conn, spec)) {
+    std::lock_guard<std::mutex> g(co.mu);
+    conn.alive = false;
+    if (--co.alive == 0 && (co.pending > 0 || co.running > 0)) {
+      co.stop = true;
+      if (co.unfinished_reason.empty()) {
+        co.unfinished_reason = "every worker disconnected before the run finished";
+      }
+    }
+    co.cv.notify_all();
+    return;
+  }
+
+  std::unique_lock<std::mutex> lk(co.mu);
+  for (;;) {
+    DistJob* rec = nullptr;
+    while (!co.stop) {
+      if (past_deadline(co)) {
+        co.stop = true;
+        push_aborts(co);
+        co.cv.notify_all();
+        break;
+      }
+      for (const auto& r : co.records) {
+        if (r->state == DistJob::kPending &&
+            (rec == nullptr || key_less(r->key, rec->key))) {
+          rec = r.get();
+        }
+      }
+      if (rec != nullptr || (co.pending == 0 && co.running == 0)) {
+        break;
+      }
+      // Hungry: the in-process hungry hint, spoken over the wire.  Poke
+      // every busy worker; re-poke on every wakeup timeout in case the
+      // request raced a donation that someone else claimed.
+      if (co.options->steal_requests) {
+        for (const auto& c : co.conns) {
+          if (c.get() != &conn && c->alive && c->current != nullptr) {
+            send_to(*c, MsgType::kStealReq,
+                    [](WireWriter&) { /* empty payload */ });
+          }
+        }
+      }
+      co.cv.wait_for(lk, std::chrono::milliseconds(100));
+    }
+    if (rec == nullptr || co.stop) {
+      co.cv.notify_all();  // cascade termination to the other waiters
+      break;
+    }
+    rec->state = DistJob::kRunning;
+    --co.pending;
+    ++co.running;
+    conn.current = rec;
+    rec->donated_in_attempt = 0;
+    rec->abort_sent = false;
+    rec->live.store(0, std::memory_order_relaxed);
+    if (rec->donated && rec->donor != conn.worker) {
+      ++co.steals;
+    }
+
+    // Pre-skip jobs whose result the merge provably cannot read (same
+    // bound as the in-process claim path).
+    const std::uint64_t before = co.bound_before(rec->key);
+    const bool dead_key =
+        co.have_violation && key_less(co.violation_key, rec->key);
+    if (before >= co.cap || dead_key) {
+      rec->state = DistJob::kAborted;
+      --co.running;
+      conn.current = nullptr;
+      if (co.pending == 0 && co.running == 0) {
+        co.cv.notify_all();
+      }
+      continue;
+    }
+
+    JobMsg job;
+    job.id = rec->id;
+    job.budget = co.cap - before;
+    job.prefix = rec->prefix;
+    job.choices = rec->choices;
+    job.sleep = rec->sleep;
+    job.sleep_inherited = rec->sleep_inherited;
+    if (co.options->fault_first_job_after != 0 && !co.first_job_shipped) {
+      job.fault_after = co.options->fault_first_job_after;
+    }
+    co.first_job_shipped = true;
+    co.log->line(
+        "coordinator: job %llu -> worker %zu (prefix=%zu choices=%zu "
+        "budget=%llu)",
+        static_cast<unsigned long long>(job.id), conn.worker,
+        job.prefix.size(), job.choices.size(),
+        static_cast<unsigned long long>(job.budget));
+
+    lk.unlock();
+    bool conn_dead = false;
+    std::string death = "worker " + std::to_string(conn.worker) +
+                        " disconnected mid-job";
+    try {
+      {
+        std::lock_guard<std::mutex> g(conn.send_mu);
+        conn.out.clear();
+        encode_job(conn.out, job);
+        send_frame(conn.fd, MsgType::kJob, conn.out);
+      }
+      int stalls_after_stop = 0;
+      for (bool resolved = false; !resolved;) {
+        if (!wait_readable(conn.fd, 200)) {
+          std::lock_guard<std::mutex> g(co.mu);
+          if (past_deadline(co) && !co.stop) {
+            co.stop = true;
+            co.cv.notify_all();
+          }
+          if (co.stop) {
+            push_aborts(co);
+            // A stopped worker answers the abort credit within one
+            // execution; a worker that stays silent for 10s of stop is
+            // wedged or gone - cut it loose so the run can summarize.
+            if (++stalls_after_stop >= 50) {
+              throw WireError("worker unresponsive after stop");
+            }
+          }
+          continue;
+        }
+        if (!recv_frame(conn.fd, conn.in)) {
+          throw WireError("connection closed");
+        }
+        switch (conn.in.type) {
+          case MsgType::kLive: {
+            WireReader r = conn.in.reader();
+            const LiveMsg live = decode_live(r);
+            if (live.id == rec->id) {
+              rec->live.store(live.executions, std::memory_order_relaxed);
+              std::lock_guard<std::mutex> g(co.mu);
+              push_aborts(co);
+            }
+            break;
+          }
+          case MsgType::kDonate: {
+            WireReader r = conn.in.reader();
+            DonateMsg d = decode_donate(r);
+            if (d.choices.empty()) {
+              throw WireError("donation with no choices");
+            }
+            std::lock_guard<std::mutex> g(co.mu);
+            auto child = std::make_unique<DistJob>();
+            child->id = co.records.size();
+            child->key = d.prefix;
+            child->key.push_back(d.choices[0]);
+            child->prefix = std::move(d.prefix);
+            child->choices = std::move(d.choices);
+            child->sleep = std::move(d.sleep);
+            child->sleep_inherited = d.sleep_inherited;
+            child->donor = conn.worker;
+            child->donated = true;
+            co.records.push_back(std::move(child));
+            ++co.pending;
+            ++rec->donated_in_attempt;
+            co.cv.notify_one();
+            break;
+          }
+          case MsgType::kFpInsert:
+            handle_fp_insert(co, conn);
+            break;
+          case MsgType::kJobResult: {
+            WireReader r = conn.in.reader();
+            JobResultMsg msg = decode_job_result(r);
+            std::lock_guard<std::mutex> g(co.mu);
+            rec->live.store(msg.result.executions, std::memory_order_relaxed);
+            if (msg.result.violation &&
+                (!co.have_violation || key_less(rec->key, co.violation_key))) {
+              co.have_violation = true;
+              co.violation_key = rec->key;
+            }
+            rec->result = std::move(msg.result);
+            // Partial walks (abort credits, stop) are stored as kDone too,
+            // exactly like the in-process explorer: the merge either never
+            // reads them or reports the truncation they represent.
+            rec->state = DistJob::kDone;
+            --co.running;
+            conn.current = nullptr;
+            push_aborts(co);
+            co.cv.notify_all();
+            resolved = true;
+            break;
+          }
+          case MsgType::kJobError: {
+            WireReader r = conn.in.reader();
+            const JobErrorMsg msg = decode_job_error(r);
+            std::lock_guard<std::mutex> g(co.mu);
+            requeue_or_fail(co, rec, msg.message);
+            --co.running;
+            conn.current = nullptr;
+            co.cv.notify_all();
+            resolved = true;
+            break;
+          }
+          default:
+            throw WireError("unexpected frame type " +
+                            std::to_string(static_cast<int>(conn.in.type)));
+        }
+      }
+    } catch (const std::exception& e) {
+      conn_dead = true;
+      death += " (";
+      death += e.what();
+      death += ")";
+    }
+
+    lk.lock();
+    if (conn_dead) {
+      co.log->line("coordinator: %s", death.c_str());
+      conn.alive = false;
+      requeue_or_fail(co, rec, death);
+      --co.running;
+      conn.current = nullptr;
+      if (--co.alive == 0 && (co.pending > 0 || co.running > 0)) {
+        co.stop = true;
+        if (co.unfinished_reason.empty()) {
+          co.unfinished_reason =
+              "every worker disconnected with work outstanding (last: " +
+              death + ")";
+        }
+      }
+      co.cv.notify_all();
+      return;
+    }
+  }
+
+  // Normal exit: hand the worker its shutdown and retire the connection.
+  lk.unlock();
+  send_to(conn, MsgType::kShutdown, [](WireWriter&) {});
+  lk.lock();
+  conn.alive = false;
+  --co.alive;
+  co.cv.notify_all();
+}
+
+void reap_children(const std::vector<pid_t>& kids) {
+  for (const pid_t pid : kids) {
+    int status = 0;
+    // Workers exit on shutdown or coordinator EOF; give each a grace
+    // window before escalating.
+    for (int spins = 0; spins < 500; ++spins) {
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid || (r < 0 && errno != EINTR)) {
+        break;  // reaped, or not our child anymore
+      }
+      if (spins == 499) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);
+        break;
+      }
+      ::usleep(10 * 1000);
+    }
+  }
+}
+
+std::string log_path_for(const char* name) {
+  const char* dir = std::getenv("REVISIM_DIST_LOG");
+  if (dir == nullptr) {
+    return {};
+  }
+  return std::string(dir) + "/" + name + ".log";
+}
+
+}  // namespace
+
+check::ScheduleExploreResult coordinate(std::vector<int> worker_fds,
+                                        const DistExploreOptions& options,
+                                        const check::CrashWorldSpec* spec) {
+  check::validate(options.base);
+  if (worker_fds.empty()) {
+    throw std::invalid_argument("dist: coordinate needs at least one worker");
+  }
+
+  Log log(log_path_for("coordinator"));
+  CoState co;
+  co.options = &options;
+  co.log = &log;
+  co.cap = std::max<std::uint64_t>(options.base.max_executions, 1);
+  if (options.time_limit.count() > 0) {
+    co.deadline = Clock::now() + options.time_limit;
+  }
+  if (options.base.dedupe_states) {
+    std::size_t shards = std::max<std::size_t>(options.fp_shards, 1);
+    co.shard_bits = 0;
+    while ((std::size_t{1} << co.shard_bits) < shards && co.shard_bits < 8) {
+      ++co.shard_bits;
+    }
+    const std::size_t n = std::size_t{1} << co.shard_bits;
+    for (std::size_t i = 0; i < n; ++i) {
+      co.shards.push_back(std::make_unique<check::StateTable>(
+          check::StateTable::Options{.audit = options.base.dedupe_audit}));
+    }
+  }
+  {
+    auto seed = std::make_unique<DistJob>();  // the whole tree; empty key
+    co.records.push_back(std::move(seed));
+    co.pending = 1;
+  }
+  for (std::size_t i = 0; i < worker_fds.size(); ++i) {
+    auto conn = std::make_unique<Conn>();
+    conn->fd = worker_fds[i];
+    conn->worker = i;
+    co.conns.push_back(std::move(conn));
+  }
+  co.alive = co.conns.size();
+  log.line("coordinator: %zu worker(s), cap=%llu, dedupe=%d, por=%d",
+           co.conns.size(), static_cast<unsigned long long>(co.cap),
+           options.base.dedupe_states ? 1 : 0, options.base.por ? 1 : 0);
+
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(co.conns.size());
+    for (const auto& conn : co.conns) {
+      pool.emplace_back(
+          [&co, &conn, spec] { serve_worker(co, *conn, spec); });
+    }
+    for (auto& t : pool) {
+      t.join();
+    }
+  }
+  for (const auto& conn : co.conns) {
+    ::close(conn->fd);
+  }
+
+  std::vector<check::detail::MergeJob> order;
+  order.reserve(co.records.size());
+  for (const auto& r : co.records) {
+    check::detail::MergeJob j;
+    j.key = &r->key;
+    switch (r->state) {
+      case DistJob::kDone:
+        j.state = check::detail::MergeJob::State::kDone;
+        j.result = &r->result;
+        break;
+      case DistJob::kFailed:
+        j.state = check::detail::MergeJob::State::kFailed;
+        j.error = &r->error;
+        break;
+      default:
+        j.state = check::detail::MergeJob::State::kUnfinished;
+        break;
+    }
+    order.push_back(j);
+  }
+  check::ScheduleExploreResult res = check::detail::merge_job_results(
+      order, co.cap, options.job_retries + 1, co.unfinished_reason);
+  res.jobs = co.records.size();
+  res.steals = co.steals;
+  if (!co.shards.empty()) {
+    // The shard sums are the authoritative distinct-state count; workers
+    // report only their local cache's lower bound.  subtrees_pruned stays
+    // the per-job sum from the merge: worker-local cache hits never reach
+    // the shards, so the job counters see strictly more prunes.
+    std::size_t states = 0;
+    for (const auto& s : co.shards) {
+      states += s->states();
+    }
+    res.states_seen = states;
+  }
+  if (!co.unfinished_reason.empty() && !res.error.has_value() &&
+      !res.timed_out) {
+    // Every record resolved before the poison landed (e.g. an audit
+    // collision raced the last result): the numbers merged, but no prune
+    // in them is trustworthy.
+    res.error = co.unfinished_reason;
+    res.exhausted = false;
+  }
+  log.line("coordinator: merged %zu job(s): executions=%zu exhausted=%d "
+           "violation=%d steals=%zu",
+           res.jobs, res.executions, res.exhausted ? 1 : 0,
+           res.violation.has_value() ? 1 : 0, res.steals);
+  return res;
+}
+
+check::ScheduleExploreResult dist_explore_schedules(
+    const std::function<std::unique_ptr<check::ExplorableWorld>()>& factory,
+    const DistExploreOptions& options) {
+  check::validate(options.base);
+  if (options.workers == 0) {
+    throw std::invalid_argument("dist: workers must be >= 1");
+  }
+  std::uint16_t port = 0;
+  const int listen_fd = listen_tcp("127.0.0.1", port);
+  const char* log_dir = std::getenv("REVISIM_DIST_LOG");
+
+  // Fork every worker BEFORE any coordinator thread exists: a fork of a
+  // multithreaded process may inherit held malloc/sanitizer locks, and
+  // TSan forbids it outright.
+  std::vector<pid_t> kids;
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (const pid_t k : kids) {
+        ::kill(k, SIGKILL);
+      }
+      reap_children(kids);
+      ::close(listen_fd);
+      throw WireError("fork failed");
+    }
+    if (pid == 0) {
+      ::close(listen_fd);
+      try {
+        const int fd = connect_tcp("127.0.0.1", port);
+        std::string log_path;
+        if (log_dir != nullptr) {
+          log_path =
+              std::string(log_dir) + "/worker-" + std::to_string(i) + ".log";
+        }
+        serve_connection(fd, factory, log_path);
+      } catch (...) {
+      }
+      // _Exit: never run the parent's atexit handlers or static
+      // destructors in a forked child.
+      std::_Exit(0);
+    }
+    kids.push_back(pid);
+  }
+
+  std::vector<int> fds;
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    const int fd = accept_tcp(listen_fd, 10'000);
+    if (fd < 0) {
+      break;  // a child died before connecting; run with the rest
+    }
+    fds.push_back(fd);
+  }
+  ::close(listen_fd);
+
+  check::ScheduleExploreResult res;
+  std::exception_ptr failure;
+  if (fds.empty()) {
+    failure = std::make_exception_ptr(WireError("no worker connected"));
+  } else {
+    try {
+      res = coordinate(std::move(fds), options, nullptr);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+  }
+  reap_children(kids);
+  if (failure) {
+    std::rethrow_exception(failure);
+  }
+  return res;
+}
+
+check::ScheduleExploreResult dist_explore_remote(
+    const check::CrashWorldSpec& spec,
+    const std::vector<std::string>& endpoints,
+    const DistExploreOptions& options) {
+  if (endpoints.empty()) {
+    throw std::invalid_argument("dist: no worker endpoints");
+  }
+  std::vector<int> fds;
+  try {
+    for (const std::string& ep : endpoints) {
+      const std::size_t colon = ep.rfind(':');
+      if (colon == std::string::npos) {
+        throw WireError("endpoint '" + ep + "' is not host:port");
+      }
+      const std::string host = ep.substr(0, colon);
+      const int port = std::atoi(ep.c_str() + colon + 1);
+      if (port <= 0 || port > 65535) {
+        throw WireError("endpoint '" + ep + "' has a bad port");
+      }
+      fds.push_back(connect_tcp(host, static_cast<std::uint16_t>(port)));
+    }
+  } catch (...) {
+    for (const int fd : fds) {
+      ::close(fd);
+    }
+    throw;
+  }
+  return coordinate(std::move(fds), options, &spec);
+}
+
+}  // namespace revisim::dist

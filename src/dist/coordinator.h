@@ -1,0 +1,80 @@
+// Distributed exploration coordinator.
+//
+// Mirrors the in-process work-stealing explorer one level up: the unit of
+// work is the same prefix-identified job, the hungry hint becomes a
+// kStealReq RPC, the cap/abort coupling becomes periodic live-counter
+// credit messages, and the final accounting is the identical key-sorted
+// merge (src/check/explore_merge.h) - so executions / exhausted / verdict /
+// lex-smallest witness stay bit-identical to the serial engine at any
+// worker count, with dedupe off.  With dedupe on, the coordinator hosts a
+// sharded-by-fingerprint-prefix StateTable service, extending
+// claim-then-walk pruning across worker processes (verdict parity;
+// states_seen bounded by the serial count on exhausted searches).
+//
+// Failure semantics: a worker that disconnects mid-job has its job
+// re-queued to the surviving workers, up to `job_retries` times - unless
+// the attempt already donated regions (a retry would re-explore them), in
+// which case the job fails and the run degrades to the same partial-summary
+// contract the in-process explorer uses.  If every worker disconnects with
+// work outstanding, the run returns a partial summary naming the loss
+// instead of hanging.  Workers that lose the coordinator keep their
+// claim-time execution budget, so a partition degrades to local caps, never
+// to unbounded work.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/check/crash_worlds.h"
+#include "src/check/model_check.h"
+
+namespace revisim::dist {
+
+struct DistExploreOptions {
+  check::ScheduleExploreOptions base{};
+  std::size_t workers = 2;       // fork-mode worker process count
+  std::size_t job_retries = 2;   // re-queues after a lost or throwing job
+  std::chrono::milliseconds time_limit{0};  // 0 = unlimited
+  std::uint64_t live_interval = 256;  // executions between kLive messages
+  std::size_t fp_shards = 4;     // fingerprint-service shards (dedupe only)
+  // Turn the hungry hint into kStealReq RPCs.  Off, the tree is never
+  // split: one worker walks the seed job alone while the rest idle -
+  // useful when jobs are tiny relative to wire latency, and for tests
+  // that need a donation-free run.
+  bool steal_requests = true;
+  // Test instrumentation: the first job shipped to any worker orders that
+  // worker to _exit() after this many executions (0 = off), exercising the
+  // crash-recovery path deterministically.
+  std::uint64_t fault_first_job_after = 0;
+};
+
+// Runs one exploration over already-connected worker sockets (ownership
+// taken; sockets are closed on return).  `spec` names the registry world
+// cluster workers must build; pass nullptr when every worker was forked
+// from this process and owns the factory already.
+check::ScheduleExploreResult coordinate(std::vector<int> worker_fds,
+                                        const DistExploreOptions& options,
+                                        const check::CrashWorldSpec* spec);
+
+// Single-binary localhost mode: forks `options.workers` worker processes
+// connected over loopback TCP, coordinates the run, shuts the workers down
+// and reaps them.  Fork happens before any coordinator thread starts, so
+// the mode is safe under TSan.  This is what tests, the benchmark and
+// `revisim_cli dist-explore --workers N` use.
+check::ScheduleExploreResult dist_explore_schedules(
+    const std::function<std::unique_ptr<check::ExplorableWorld>()>& factory,
+    const DistExploreOptions& options);
+
+// Cluster mode: connects to `host:port` endpoints running `revisim_cli
+// serve` and ships them `spec` to build.  Throws WireError if any endpoint
+// is unreachable or rejects the hello.
+check::ScheduleExploreResult dist_explore_remote(
+    const check::CrashWorldSpec& spec,
+    const std::vector<std::string>& endpoints,
+    const DistExploreOptions& options);
+
+}  // namespace revisim::dist

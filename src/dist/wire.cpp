@@ -1,0 +1,605 @@
+#include "src/dist/wire.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace revisim::dist {
+namespace {
+
+using runtime::ProcessId;
+
+constexpr std::uint64_t kWireCrashBit = std::uint64_t{1} << 63;
+
+// The largest pid a wire entry can carry on this host: ProcessId may be
+// narrower than 64 bits, and its own top bit is the crash flag.
+constexpr std::uint64_t kMaxWirePid =
+    static_cast<std::uint64_t>(runtime::kCrashEntryBit) - 1;
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::uint64_t entry_to_wire(ProcessId entry) {
+  if (runtime::is_crash_entry(entry)) {
+    return static_cast<std::uint64_t>(runtime::crash_entry_target(entry)) |
+           kWireCrashBit;
+  }
+  return static_cast<std::uint64_t>(entry);
+}
+
+ProcessId entry_from_wire(std::uint64_t wire) {
+  const bool crash = (wire & kWireCrashBit) != 0;
+  const std::uint64_t pid = wire & ~kWireCrashBit;
+  if (pid > kMaxWirePid) {
+    throw WireError("wire schedule entry pid " + std::to_string(pid) +
+                    " does not fit the host ProcessId");
+  }
+  const auto p = static_cast<ProcessId>(pid);
+  return crash ? runtime::make_crash_entry(p) : p;
+}
+
+// --- WireWriter --------------------------------------------------------------
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::str(const std::string& v) {
+  if (v.size() > kMaxFrameBytes) {
+    throw WireError("string too large to serialize");
+  }
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void WireWriter::schedule(const std::vector<ProcessId>& entries) {
+  if (entries.size() > kMaxFrameBytes / 8) {
+    throw WireError("schedule too large to serialize");
+  }
+  u32(static_cast<std::uint32_t>(entries.size()));
+  for (const ProcessId e : entries) {
+    entry(e);
+  }
+}
+
+void WireWriter::fingerprint(util::Fingerprint fp) {
+  u64(fp.hi);
+  u64(fp.lo);
+}
+
+// --- WireReader --------------------------------------------------------------
+
+void WireReader::need(std::size_t n) const {
+  if (size_ - off_ < n) {
+    throw WireError("truncated wire payload (need " + std::to_string(n) +
+                    " bytes at offset " + std::to_string(off_) + " of " +
+                    std::to_string(size_) + ")");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return p_[off_++];
+}
+
+std::uint16_t WireReader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(v | (std::uint16_t{p_[off_ + i]} << (8 * i)));
+  }
+  off_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= std::uint32_t{p_[off_ + i]} << (8 * i);
+  }
+  off_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t{p_[off_ + i]} << (8 * i);
+  }
+  off_ += 8;
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string v(reinterpret_cast<const char*>(p_ + off_), n);
+  off_ += n;
+  return v;
+}
+
+std::vector<ProcessId> WireReader::schedule() {
+  const std::uint32_t n = u32();
+  // Each entry is 8 bytes; reject counts the remaining payload cannot hold
+  // before reserving (a corrupt count must not become a huge allocation).
+  need(static_cast<std::size_t>(n) * 8);
+  std::vector<ProcessId> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    v.push_back(entry());
+  }
+  return v;
+}
+
+util::Fingerprint WireReader::fingerprint() {
+  util::Fingerprint fp;
+  fp.hi = u64();
+  fp.lo = u64();
+  return fp;
+}
+
+void WireReader::expect_done() const {
+  if (off_ != size_) {
+    throw WireError("trailing bytes in wire payload (" +
+                    std::to_string(size_ - off_) + " unread)");
+  }
+}
+
+// --- typed messages ----------------------------------------------------------
+
+void encode_hello(WireWriter& w, const HelloMsg& m) {
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u32(m.worker);
+  w.u64(m.max_steps);
+  w.u64(m.warm_worlds);
+  w.u64(m.max_crashes);
+  w.u8(m.record_traces ? 1 : 0);
+  w.u8(m.dedupe_states ? 1 : 0);
+  w.u8(m.dedupe_audit ? 1 : 0);
+  w.u8(m.dedupe_adaptive ? 1 : 0);
+  w.u8(m.por ? 1 : 0);
+  w.u64(m.live_interval);
+  w.str(m.world);
+  w.u64(m.f);
+  w.u64(m.m);
+  w.u64(m.step_budget);
+}
+
+HelloMsg decode_hello(WireReader& r) {
+  if (r.u32() != kWireMagic) {
+    throw WireError("hello: bad magic (not a revisim coordinator?)");
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kWireVersion) {
+    throw WireError("hello: wire version " + std::to_string(version) +
+                    ", this binary speaks " + std::to_string(kWireVersion));
+  }
+  HelloMsg m;
+  m.worker = r.u32();
+  m.max_steps = r.u64();
+  m.warm_worlds = r.u64();
+  m.max_crashes = r.u64();
+  m.record_traces = r.u8() != 0;
+  m.dedupe_states = r.u8() != 0;
+  m.dedupe_audit = r.u8() != 0;
+  m.dedupe_adaptive = r.u8() != 0;
+  m.por = r.u8() != 0;
+  m.live_interval = r.u64();
+  m.world = r.str();
+  m.f = r.u64();
+  m.m = r.u64();
+  m.step_budget = r.u64();
+  r.expect_done();
+  return m;
+}
+
+void encode_hello_ack(WireWriter& w, const HelloAckMsg& m) {
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u8(m.ok ? 1 : 0);
+  w.str(m.error);
+}
+
+HelloAckMsg decode_hello_ack(WireReader& r) {
+  if (r.u32() != kWireMagic) {
+    throw WireError("hello-ack: bad magic (not a revisim worker?)");
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kWireVersion) {
+    throw WireError("hello-ack: wire version " + std::to_string(version) +
+                    ", this binary speaks " + std::to_string(kWireVersion));
+  }
+  HelloAckMsg m;
+  m.ok = r.u8() != 0;
+  m.error = r.str();
+  r.expect_done();
+  return m;
+}
+
+void encode_job(WireWriter& w, const JobMsg& m) {
+  w.u64(m.id);
+  w.u64(m.budget);
+  w.u64(m.fault_after);
+  w.schedule(m.prefix);
+  w.schedule(m.choices);
+  w.schedule(m.sleep);
+  w.u32(m.sleep_inherited);
+}
+
+JobMsg decode_job(WireReader& r) {
+  JobMsg m;
+  m.id = r.u64();
+  m.budget = r.u64();
+  m.fault_after = r.u64();
+  m.prefix = r.schedule();
+  m.choices = r.schedule();
+  m.sleep = r.schedule();
+  m.sleep_inherited = r.u32();
+  if (m.sleep_inherited > m.sleep.size()) {
+    throw WireError("job sleep_inherited exceeds sleep size");
+  }
+  r.expect_done();
+  return m;
+}
+
+void encode_job_result(WireWriter& w, const JobResultMsg& m) {
+  const check::detail::SubtreeResult& s = m.result;
+  w.u64(m.id);
+  w.u64(s.executions);
+  w.u8(s.fully_explored ? 1 : 0);
+  w.u8(s.violation.has_value() ? 1 : 0);
+  w.str(s.violation.has_value() ? *s.violation : std::string());
+  w.schedule(s.witness);
+  w.u64(s.violation_index);
+  w.u64(s.subtrees_pruned);
+  w.u64(s.states_seen);
+  w.u64(s.donations);
+  w.u64(s.replay_steps_saved);
+  w.u64(s.por_skipped);
+  w.u64(s.dependent_wakeups);
+  w.u64(s.footprint_bytes);
+  w.u8(s.dedupe_disabled ? 1 : 0);
+}
+
+JobResultMsg decode_job_result(WireReader& r) {
+  JobResultMsg m;
+  m.id = r.u64();
+  check::detail::SubtreeResult& s = m.result;
+  s.executions = static_cast<std::size_t>(r.u64());
+  s.fully_explored = r.u8() != 0;
+  const bool has_violation = r.u8() != 0;
+  std::string violation = r.str();
+  if (has_violation) {
+    s.violation = std::move(violation);
+  }
+  s.witness = r.schedule();
+  s.violation_index = static_cast<std::size_t>(r.u64());
+  s.subtrees_pruned = static_cast<std::size_t>(r.u64());
+  s.states_seen = static_cast<std::size_t>(r.u64());
+  s.donations = static_cast<std::size_t>(r.u64());
+  s.replay_steps_saved = r.u64();
+  s.por_skipped = static_cast<std::size_t>(r.u64());
+  s.dependent_wakeups = static_cast<std::size_t>(r.u64());
+  s.footprint_bytes = r.u64();
+  s.dedupe_disabled = r.u8() != 0;
+  r.expect_done();
+  return m;
+}
+
+void encode_job_error(WireWriter& w, const JobErrorMsg& m) {
+  w.u64(m.id);
+  w.str(m.message);
+}
+
+JobErrorMsg decode_job_error(WireReader& r) {
+  JobErrorMsg m;
+  m.id = r.u64();
+  m.message = r.str();
+  r.expect_done();
+  return m;
+}
+
+void encode_live(WireWriter& w, const LiveMsg& m) {
+  w.u64(m.id);
+  w.u64(m.executions);
+}
+
+LiveMsg decode_live(WireReader& r) {
+  LiveMsg m;
+  m.id = r.u64();
+  m.executions = r.u64();
+  r.expect_done();
+  return m;
+}
+
+void encode_donate(WireWriter& w, const DonateMsg& m) {
+  w.u64(m.parent);
+  w.schedule(m.prefix);
+  w.schedule(m.choices);
+  w.schedule(m.sleep);
+  w.u32(m.sleep_inherited);
+}
+
+DonateMsg decode_donate(WireReader& r) {
+  DonateMsg m;
+  m.parent = r.u64();
+  m.prefix = r.schedule();
+  m.choices = r.schedule();
+  m.sleep = r.schedule();
+  m.sleep_inherited = r.u32();
+  if (m.sleep_inherited > m.sleep.size()) {
+    throw WireError("donate sleep_inherited exceeds sleep size");
+  }
+  r.expect_done();
+  return m;
+}
+
+void encode_credit(WireWriter& w, const CreditMsg& m) {
+  w.u64(m.id);
+  w.u64(m.budget);
+  w.u8(m.abort ? 1 : 0);
+}
+
+CreditMsg decode_credit(WireReader& r) {
+  CreditMsg m;
+  m.id = r.u64();
+  m.budget = r.u64();
+  m.abort = r.u8() != 0;
+  r.expect_done();
+  return m;
+}
+
+void encode_fp_insert(WireWriter& w, const FpInsertMsg& m) {
+  w.fingerprint(m.fp);
+  w.u8(m.has_canonical ? 1 : 0);
+  w.str(m.canonical);
+}
+
+FpInsertMsg decode_fp_insert(WireReader& r) {
+  FpInsertMsg m;
+  m.fp = r.fingerprint();
+  m.has_canonical = r.u8() != 0;
+  m.canonical = r.str();
+  r.expect_done();
+  return m;
+}
+
+void encode_fp_reply(WireWriter& w, const FpReplyMsg& m) {
+  w.u8(m.was_new ? 1 : 0);
+}
+
+FpReplyMsg decode_fp_reply(WireReader& r) {
+  FpReplyMsg m;
+  m.was_new = r.u8() != 0;
+  r.expect_done();
+  return m;
+}
+
+// --- framing -----------------------------------------------------------------
+
+namespace {
+
+void send_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw WireError(errno_text("send"));
+    }
+    data += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+// Returns false on EOF before the first byte; throws on mid-read EOF.
+bool recv_all(int fd, std::uint8_t* data, std::size_t n, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, data + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw WireError(errno_text("recv"));
+    }
+    if (r == 0) {
+      if (got == 0 && eof_ok) {
+        return false;
+      }
+      throw WireError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool recv_frame_body(int fd, Frame& frame, const std::uint8_t header[5]) {
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= std::uint32_t{header[i]} << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    throw WireError("oversized frame (" + std::to_string(len) + " bytes)");
+  }
+  frame.type = static_cast<MsgType>(header[4]);
+  frame.payload.resize(len);
+  if (len > 0) {
+    recv_all(fd, frame.payload.data(), len, /*eof_ok=*/false);
+  }
+  return true;
+}
+
+}  // namespace
+
+void send_frame(int fd, MsgType type, const WireWriter& body) {
+  if (body.size() > kMaxFrameBytes) {
+    throw WireError("frame payload too large");
+  }
+  std::uint8_t header[5];
+  const auto len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  header[4] = static_cast<std::uint8_t>(type);
+  send_all(fd, header, sizeof header);
+  send_all(fd, body.data(), body.size());
+}
+
+bool recv_frame(int fd, Frame& frame) {
+  std::uint8_t header[5];
+  if (!recv_all(fd, header, sizeof header, /*eof_ok=*/true)) {
+    return false;
+  }
+  return recv_frame_body(fd, frame, header);
+}
+
+int try_recv_frame(int fd, Frame& frame) {
+  std::uint8_t header[5];
+  std::size_t got = 0;
+  // First probe non-blockingly; once any header byte arrives the peer has
+  // committed to a frame, so finishing the read blockingly cannot stall
+  // beyond one in-flight message.
+  while (got < sizeof header) {
+    const ssize_t r =
+        ::recv(fd, header + got, sizeof(header) - got, got == 0 ? MSG_DONTWAIT : 0);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (got == 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return 0;
+      }
+      throw WireError(errno_text("recv"));
+    }
+    if (r == 0) {
+      if (got == 0) {
+        return -1;
+      }
+      throw WireError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  recv_frame_body(fd, frame, header);
+  return 1;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw WireError(errno_text("poll"));
+    }
+    return r > 0;
+  }
+}
+
+// --- TCP helpers -------------------------------------------------------------
+
+int listen_tcp(const std::string& host, std::uint16_t& port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw WireError(errno_text("socket"));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw WireError("listen_tcp: bad host address " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const std::string err = errno_text("bind/listen");
+    ::close(fd);
+    throw WireError(err);
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string err = errno_text("getsockname");
+    ::close(fd);
+    throw WireError(err);
+  }
+  port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int accept_tcp(int listen_fd, int timeout_ms) {
+  if (!wait_readable(listen_fd, timeout_ms)) {
+    return -1;
+  }
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    if (errno != EINTR) {
+      throw WireError(errno_text("accept"));
+    }
+  }
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw WireError("connect_tcp: bad host address " + host);
+  }
+  // Retry briefly: a freshly forked worker can race the coordinator's
+  // listen(), and cluster workers may restart between runs.
+  std::string last_err;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw WireError(errno_text("socket"));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    last_err = errno_text("connect");
+    ::close(fd);
+    ::usleep(100 * 1000);
+  }
+  throw WireError("connect_tcp " + host + ":" + std::to_string(port) + ": " +
+                  last_err);
+}
+
+}  // namespace revisim::dist

@@ -1,0 +1,281 @@
+// Versioned binary wire format for the distributed schedule explorer.
+//
+// The unit of distribution is the prefix-identified job the in-process
+// work-stealing explorer already uses: a pure (schedule prefix, choice
+// list) value plus the donated sleep-set pids.  Everything that crosses the
+// socket is a function of those values and of the options - no pointers, no
+// warm worlds (the worker re-replays the prefix into its own checkpoint
+// pool) - so the encoding below is a straight transcription.
+//
+// Encoding rules, version 1:
+//   - All integers are fixed-width little-endian, written byte by byte
+//     (shift/mask), so the format is identical across host endianness and
+//     word size.
+//   - Schedule entries travel as u64 with bit 63 as the crash flag,
+//     re-encoded from the host representation (runtime::kCrashEntryBit sits
+//     at the top of a size_t, which need not be 64 bits): a step entry is
+//     the pid, a crash entry is the target pid with bit 63 set.  Decoding
+//     rejects pids that do not fit the host ProcessId.
+//   - Sequences are u32 count + items; strings are u32 length + raw bytes.
+//   - Fingerprints are hi u64 + lo u64.
+//   - A frame is [u32 payload length][u8 message type][payload]; payloads
+//     above kMaxFrameBytes are rejected as corruption.
+//
+// Message catalogue (direction, payload):
+//   kHello      C->W  magic, version, worker index, exploration options,
+//                     registry world spec (empty world name = the worker
+//                     was forked from the coordinator and already owns the
+//                     factory), live-counter interval
+//   kHelloAck   W->C  magic, version, ok flag + error text (unknown world,
+//                     version skew)
+//   kJob        C->W  job id, execution budget, fault_after (test
+//                     instrumentation), prefix, choices, sleep pids
+//   kJobResult  W->C  job id + the full SubtreeResult summary
+//   kJobError   W->C  job id + exception text (retry/degradation path)
+//   kLive       W->C  job id + executions so far (cap-credit input)
+//   kDonate     W->C  parent job id + a donated (prefix, choices, sleep)
+//                     region, the steal-request response
+//   kCredit     C->W  job id + remaining execution budget; abort flag cuts
+//                     the job entirely (lex-earlier regions secured the
+//                     cap, or a lex-earlier violation)
+//   kStealReq   C->W  empty; asks the worker to split its current job
+//   kFpInsert   W->C  fingerprint + optional canonical state text (audit);
+//                     first local sighting, forwarded to the shard service
+//   kFpReply    C->W  was_new flag (claim-then-walk verdict)
+//   kShutdown   C->W  empty; the run is over
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/check/explore_core.h"
+#include "src/runtime/trace.h"
+#include "src/util/fingerprint.h"
+
+namespace revisim::dist {
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kWireMagic = 0x4d535652u;  // "RVSM"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{64} << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kJob = 3,
+  kJobResult = 4,
+  kJobError = 5,
+  kLive = 6,
+  kDonate = 7,
+  kCredit = 8,
+  kStealReq = 9,
+  kFpInsert = 10,
+  kFpReply = 11,
+  kShutdown = 12,
+};
+
+// --- schedule entries --------------------------------------------------------
+
+// Host schedule entry <-> machine-independent u64 (bit 63 = crash flag).
+[[nodiscard]] std::uint64_t entry_to_wire(runtime::ProcessId entry);
+// Throws WireError if the pid does not fit the host ProcessId.
+[[nodiscard]] runtime::ProcessId entry_from_wire(std::uint64_t wire);
+
+// --- primitive encoder/decoder ----------------------------------------------
+
+// Append-only little-endian byte buffer.  Each connection keeps ONE writer
+// and clears it per message, so steady-state serialization allocates
+// nothing (the backing vector keeps its high-water capacity).
+class WireWriter {
+ public:
+  void clear() { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void str(const std::string& v);
+  void entry(runtime::ProcessId e) { u64(entry_to_wire(e)); }
+  void schedule(const std::vector<runtime::ProcessId>& entries);
+  void fingerprint(util::Fingerprint fp);
+
+  [[nodiscard]] const std::uint8_t* data() const { return buf_.data(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Bounds-checked reader over a received payload; throws WireError on
+// truncation, oversized counts, or trailing bytes (expect_done).
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : p_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string str();
+  runtime::ProcessId entry() { return entry_from_wire(u64()); }
+  std::vector<runtime::ProcessId> schedule();
+  util::Fingerprint fingerprint();
+
+  [[nodiscard]] bool done() const { return off_ == size_; }
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* p_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+// --- typed messages ----------------------------------------------------------
+
+struct HelloMsg {
+  std::uint32_t worker = 0;  // index assigned by the coordinator
+  // Exploration options shipped once per connection; the per-job execution
+  // budget rides on each kJob instead (it depends on the cap bound).
+  std::uint64_t max_steps = 64;
+  std::uint64_t warm_worlds = 8;
+  std::uint64_t max_crashes = 0;
+  bool record_traces = false;
+  bool dedupe_states = false;
+  bool dedupe_audit = false;
+  bool dedupe_adaptive = false;
+  bool por = false;
+  std::uint64_t live_interval = 256;  // executions between kLive messages
+  // Registry world (src/check/crash_worlds.h) for cluster workers; an empty
+  // name means the worker holds the factory already (fork mode).
+  std::string world;
+  std::uint64_t f = 0;
+  std::uint64_t m = 0;
+  std::uint64_t step_budget = 0;
+};
+
+struct HelloAckMsg {
+  bool ok = true;
+  std::string error;
+};
+
+struct JobMsg {
+  std::uint64_t id = 0;
+  std::uint64_t budget = 0;       // max executions for this job
+  std::uint64_t fault_after = 0;  // test hook: _exit after N executions
+  std::vector<runtime::ProcessId> prefix;
+  std::vector<runtime::ProcessId> choices;  // empty = all choices (seed job)
+  std::vector<runtime::ProcessId> sleep;
+  // Leading entries of `sleep` that are inherited sleepers (wakeup-counting)
+  // rather than the donor's explored elder siblings; see Donation.
+  std::uint32_t sleep_inherited = 0;
+};
+
+struct JobResultMsg {
+  std::uint64_t id = 0;
+  check::detail::SubtreeResult result;
+};
+
+struct JobErrorMsg {
+  std::uint64_t id = 0;
+  std::string message;
+};
+
+struct LiveMsg {
+  std::uint64_t id = 0;
+  std::uint64_t executions = 0;
+};
+
+struct DonateMsg {
+  std::uint64_t parent = 0;  // job the region was split from
+  std::vector<runtime::ProcessId> prefix;
+  std::vector<runtime::ProcessId> choices;
+  std::vector<runtime::ProcessId> sleep;
+  std::uint32_t sleep_inherited = 0;  // as in JobMsg
+};
+
+struct CreditMsg {
+  std::uint64_t id = 0;
+  std::uint64_t budget = 0;  // remaining executions; ignored when abort
+  bool abort = false;
+};
+
+struct FpInsertMsg {
+  util::Fingerprint fp;
+  bool has_canonical = false;  // audit mode ships the canonical state text
+  std::string canonical;
+};
+
+struct FpReplyMsg {
+  bool was_new = false;
+};
+
+void encode_hello(WireWriter& w, const HelloMsg& m);
+[[nodiscard]] HelloMsg decode_hello(WireReader& r);
+void encode_hello_ack(WireWriter& w, const HelloAckMsg& m);
+[[nodiscard]] HelloAckMsg decode_hello_ack(WireReader& r);
+void encode_job(WireWriter& w, const JobMsg& m);
+[[nodiscard]] JobMsg decode_job(WireReader& r);
+void encode_job_result(WireWriter& w, const JobResultMsg& m);
+[[nodiscard]] JobResultMsg decode_job_result(WireReader& r);
+void encode_job_error(WireWriter& w, const JobErrorMsg& m);
+[[nodiscard]] JobErrorMsg decode_job_error(WireReader& r);
+void encode_live(WireWriter& w, const LiveMsg& m);
+[[nodiscard]] LiveMsg decode_live(WireReader& r);
+void encode_donate(WireWriter& w, const DonateMsg& m);
+[[nodiscard]] DonateMsg decode_donate(WireReader& r);
+void encode_credit(WireWriter& w, const CreditMsg& m);
+[[nodiscard]] CreditMsg decode_credit(WireReader& r);
+void encode_fp_insert(WireWriter& w, const FpInsertMsg& m);
+[[nodiscard]] FpInsertMsg decode_fp_insert(WireReader& r);
+void encode_fp_reply(WireWriter& w, const FpReplyMsg& m);
+[[nodiscard]] FpReplyMsg decode_fp_reply(WireReader& r);
+
+// --- framing over a connected socket ----------------------------------------
+
+struct Frame {
+  MsgType type{};
+  std::vector<std::uint8_t> payload;  // reused across recv_frame calls
+
+  [[nodiscard]] WireReader reader() const {
+    return WireReader(payload.data(), payload.size());
+  }
+};
+
+// Writes [len][type][payload] with MSG_NOSIGNAL; throws WireError on I/O
+// failure (a dead peer surfaces as an error, never a SIGPIPE).
+void send_frame(int fd, MsgType type, const WireWriter& body);
+
+// Blocking receive.  Returns false on clean EOF at a frame boundary; throws
+// WireError on I/O failure, truncated frames, or oversized payloads.
+bool recv_frame(int fd, Frame& frame);
+
+// Non-blocking poll-then-receive: 1 = frame received, 0 = nothing pending,
+// -1 = EOF.  Once a frame header is visible the rest is read blockingly
+// (the peer has committed to sending it).
+int try_recv_frame(int fd, Frame& frame);
+
+// Blocks until fd is readable or `timeout_ms` expires; true = readable.
+bool wait_readable(int fd, int timeout_ms);
+
+// --- minimal TCP helpers -----------------------------------------------------
+
+// Listens on host:port (port 0 = ephemeral; the chosen port is written
+// back).  Throws WireError on failure.
+int listen_tcp(const std::string& host, std::uint16_t& port);
+// Accepts one connection; -1 on timeout.  Throws WireError on failure.
+int accept_tcp(int listen_fd, int timeout_ms);
+// Connects to host:port (retrying briefly while the listener comes up).
+// Throws WireError on failure.
+int connect_tcp(const std::string& host, std::uint16_t port);
+
+}  // namespace revisim::dist

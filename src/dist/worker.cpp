@@ -1,0 +1,408 @@
+#include "src/dist/worker.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "src/check/crash_worlds.h"
+#include "src/check/explore_core.h"
+#include "src/check/state_table.h"
+#include "src/dist/wire.h"
+
+namespace revisim::dist {
+namespace {
+
+using check::ExplorableWorld;
+using runtime::ProcessId;
+
+class Log {
+ public:
+  explicit Log(const std::string& path) {
+    if (!path.empty()) {
+      file_ = std::fopen(path.c_str(), "a");
+    }
+  }
+  ~Log() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+  }
+  void line(const char* fmt, ...) {
+    if (file_ == nullptr) {
+      return;
+    }
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(file_, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+// One coordinator connection: the socket, the reused serialization buffers,
+// and the control flags the message pump feeds into the running job.
+struct Session {
+  int fd = -1;
+  WireWriter out;  // one buffer per connection; cleared per message
+  Frame in;        // receive buffer, likewise reused
+  Log* log = nullptr;
+
+  HelloMsg hello;
+  std::uint64_t job_id = 0;
+  std::atomic<std::uint64_t> live{0};    // executions of the current job
+  std::atomic<std::uint64_t> budget{0};  // shrunk by kCredit messages
+  bool abort_job = false;                // kCredit abort / shutdown
+  bool steal_wanted = false;             // kStealReq pending, cleared on donate
+  bool shutdown = false;
+};
+
+// Handles one control frame; every frame type a worker can legally receive
+// outside the job/fp handshakes.  Returns false for frame types the caller
+// must handle itself.
+bool handle_control(Session& s, const Frame& f) {
+  switch (f.type) {
+    case MsgType::kCredit: {
+      WireReader r = f.reader();
+      const CreditMsg credit = decode_credit(r);
+      if (credit.id == s.job_id) {
+        if (credit.abort) {
+          s.abort_job = true;
+        } else {
+          s.budget.store(credit.budget, std::memory_order_relaxed);
+        }
+      }
+      return true;
+    }
+    case MsgType::kStealReq:
+      s.steal_wanted = true;
+      return true;
+    case MsgType::kShutdown:
+      s.shutdown = true;
+      s.abort_job = true;
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Drains every frame already queued on the socket without blocking.
+void pump(Session& s) {
+  for (;;) {
+    const int got = try_recv_frame(s.fd, s.in);
+    if (got == 0) {
+      return;
+    }
+    if (got < 0) {
+      throw WireError("coordinator closed the connection");
+    }
+    if (!handle_control(s, s.in)) {
+      throw WireError("unexpected frame type " +
+                      std::to_string(static_cast<int>(s.in.type)) +
+                      " during a job");
+    }
+  }
+}
+
+// Worker-side visited-state store: a local StateTable caches every answer
+// (repeat sightings prune without touching the wire); the first sighting of
+// a state is claimed authoritatively at the coordinator's sharded
+// fingerprint service via a synchronous kFpInsert round trip.  Control
+// frames arriving while we wait for the reply are handled in place, so cap
+// credits and steal requests are never stalled by dedupe traffic.
+class RemoteStateStore final : public check::StateStore {
+ public:
+  explicit RemoteStateStore(Session& session)
+      : session_(session), local_(check::StateTable::Options{.audit = false}) {}
+
+  bool insert(util::Fingerprint fp,
+              const std::function<std::string()>& canonical = {}) override {
+    if (!local_.insert(fp)) {
+      ++hits_;
+      return false;
+    }
+    FpInsertMsg msg;
+    msg.fp = fp;
+    if (audit() && canonical) {
+      msg.has_canonical = true;
+      msg.canonical = canonical();
+    }
+    session_.out.clear();
+    encode_fp_insert(session_.out, msg);
+    send_frame(session_.fd, MsgType::kFpInsert, session_.out);
+    for (;;) {
+      if (!recv_frame(session_.fd, session_.in)) {
+        throw WireError("coordinator closed the connection (fp wait)");
+      }
+      if (session_.in.type == MsgType::kFpReply) {
+        WireReader r = session_.in.reader();
+        const FpReplyMsg reply = decode_fp_reply(r);
+        if (!reply.was_new) {
+          ++hits_;
+        }
+        return reply.was_new;
+      }
+      if (!handle_control(session_, session_.in)) {
+        throw WireError("unexpected frame type " +
+                        std::to_string(static_cast<int>(session_.in.type)) +
+                        " while awaiting fp reply");
+      }
+    }
+  }
+
+  [[nodiscard]] bool audit() const noexcept override {
+    return session_.hello.dedupe_audit;
+  }
+
+  // Local lower bound; the coordinator owns the global count (shard sums).
+  [[nodiscard]] std::size_t states() const override { return local_.states(); }
+
+  [[nodiscard]] std::size_t hits() const noexcept override { return hits_; }
+
+ private:
+  Session& session_;
+  check::StateTable local_;
+  std::size_t hits_ = 0;
+};
+
+void run_job(Session& s, const JobMsg& job,
+             const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+             check::detail::WarmPool& pool, check::StateStore* store) {
+  s.job_id = job.id;
+  s.live.store(0, std::memory_order_relaxed);
+  s.budget.store(job.budget, std::memory_order_relaxed);
+  s.abort_job = false;
+
+  check::detail::SubtreeOptions sub;
+  sub.max_steps = static_cast<std::size_t>(s.hello.max_steps);
+  sub.max_executions = static_cast<std::size_t>(job.budget);
+  sub.record_traces = s.hello.record_traces;
+  sub.warm_worlds = static_cast<std::size_t>(s.hello.warm_worlds);
+  sub.max_crashes = static_cast<std::size_t>(s.hello.max_crashes);
+  sub.dedupe_states = s.hello.dedupe_states;
+  sub.dedupe_adaptive = s.hello.dedupe_adaptive;
+  sub.por = s.hello.por;
+  sub.table = store;
+  sub.live_executions = &s.live;
+
+  check::detail::JobContext ctx;
+  if (!job.choices.empty()) {
+    ctx.root_choices = &job.choices;
+    ctx.root_sleep = &job.sleep;
+    ctx.root_sleep_inherited = job.sleep_inherited;
+  }
+  ctx.pool = &pool;
+  ctx.split.want = [&s] { return s.steal_wanted; };
+  ctx.split.take = [&s, &pool](check::detail::Donation& d) {
+    // The donated warm world never crosses the wire (the thief re-replays
+    // the prefix remotely); keep it parked for our own backtracks.
+    if (d.warm != nullptr) {
+      pool.park(std::move(d.warm));
+    }
+    DonateMsg msg;
+    msg.parent = s.job_id;
+    msg.prefix = std::move(d.prefix);
+    msg.choices = std::move(d.choices);
+    msg.sleep = std::move(d.sleep);
+    msg.sleep_inherited = static_cast<std::uint32_t>(d.sleep_inherited);
+    s.out.clear();
+    encode_donate(s.out, msg);
+    send_frame(s.fd, MsgType::kDonate, s.out);
+    s.steal_wanted = false;  // one donation per request
+    s.log->line("worker %u: donated prefix=%zu choices=%zu (job %llu)",
+                s.hello.worker, msg.prefix.size(), msg.choices.size(),
+                static_cast<unsigned long long>(s.job_id));
+    return true;
+  };
+
+  std::uint64_t last_reported = 0;
+  std::uint64_t probes = 0;
+  auto abort = [&]() -> bool {
+    // The probe runs after every execution; a recvmsg syscall each time
+    // costs more than a small-step execution does (the socket is empty
+    // almost always).  Draining every 16th probe keeps steal-request and
+    // credit latency at a few executions while cutting the syscall rate
+    // 16x - the toll the dist-workers-2 vs parallel-2 smoke gate bounds.
+    if ((probes++ & 0xf) == 0) {
+      pump(s);
+    }
+    const std::uint64_t n = s.live.load(std::memory_order_relaxed);
+    if (job.fault_after != 0 && n >= job.fault_after) {
+      // Test instrumentation: simulate a worker crash mid-job.  _Exit skips
+      // every destructor, exactly like a killed process.
+      s.log->line("worker %u: fault injection at %llu executions",
+                  s.hello.worker, static_cast<unsigned long long>(n));
+      std::_Exit(3);
+    }
+    if (n - last_reported >= s.hello.live_interval) {
+      LiveMsg live;
+      live.id = s.job_id;
+      live.executions = n;
+      s.out.clear();
+      encode_live(s.out, live);
+      send_frame(s.fd, MsgType::kLive, s.out);
+      last_reported = n;
+    }
+    if (s.abort_job) {
+      return true;
+    }
+    return n >= s.budget.load(std::memory_order_relaxed);
+  };
+
+  try {
+    check::detail::SubtreeResult result =
+        check::detail::explore_job(factory, job.prefix, sub, abort, &ctx);
+    JobResultMsg msg;
+    msg.id = job.id;
+    msg.result = std::move(result);
+    s.out.clear();
+    encode_job_result(s.out, msg);
+    send_frame(s.fd, MsgType::kJobResult, s.out);
+    s.log->line("worker %u: job %llu done, %zu executions", s.hello.worker,
+                static_cast<unsigned long long>(job.id),
+                msg.result.executions);
+  } catch (const WireError&) {
+    throw;  // the connection itself failed; nothing further to send
+  } catch (const std::exception& e) {
+    JobErrorMsg msg;
+    msg.id = job.id;
+    msg.message = e.what();
+    s.out.clear();
+    encode_job_error(s.out, msg);
+    send_frame(s.fd, MsgType::kJobError, s.out);
+    s.log->line("worker %u: job %llu failed: %s", s.hello.worker,
+                static_cast<unsigned long long>(job.id), e.what());
+  }
+}
+
+}  // namespace
+
+void serve_connection(
+    int fd,
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const std::string& log_path) {
+  Log log(log_path);
+  Session s;
+  s.fd = fd;
+  s.log = &log;
+  try {
+    if (!recv_frame(fd, s.in) || s.in.type != MsgType::kHello) {
+      throw WireError("expected hello");
+    }
+    {
+      WireReader r = s.in.reader();
+      s.hello = decode_hello(r);
+    }
+
+    std::function<std::unique_ptr<ExplorableWorld>()> make = factory;
+    HelloAckMsg ack;
+    if (make == nullptr) {
+      if (s.hello.world.empty()) {
+        ack.ok = false;
+        ack.error = "hello named no world and the worker holds no factory";
+      } else {
+        check::CrashWorldSpec spec;
+        spec.world = s.hello.world;
+        spec.f = static_cast<std::size_t>(s.hello.f);
+        spec.m = static_cast<std::size_t>(s.hello.m);
+        spec.step_budget = static_cast<std::size_t>(s.hello.step_budget);
+        try {
+          make = check::make_crash_world_factory(spec);
+        } catch (const std::exception& e) {
+          ack.ok = false;
+          ack.error = e.what();
+        }
+      }
+    }
+    s.out.clear();
+    encode_hello_ack(s.out, ack);
+    send_frame(fd, MsgType::kHelloAck, s.out);
+    if (!ack.ok) {
+      log.line("worker %u: rejected hello: %s", s.hello.worker,
+               ack.error.c_str());
+      ::close(fd);
+      return;
+    }
+    log.line("worker %u: serving (world=%s dedupe=%d por=%d crashes=%llu)",
+             s.hello.worker,
+             s.hello.world.empty() ? "<local factory>" : s.hello.world.c_str(),
+             s.hello.dedupe_states ? 1 : 0, s.hello.por ? 1 : 0,
+             static_cast<unsigned long long>(s.hello.max_crashes));
+
+    // The warm pool and the dedupe cache persist across jobs on this
+    // connection, like a parallel-explorer worker's do across claims.
+    check::detail::WarmPool pool(static_cast<std::size_t>(s.hello.warm_worlds),
+                                 /*adaptive=*/true,
+                                 static_cast<std::size_t>(s.hello.warm_worlds));
+    std::unique_ptr<RemoteStateStore> store;
+    if (s.hello.dedupe_states) {
+      store = std::make_unique<RemoteStateStore>(s);
+    }
+
+    while (!s.shutdown) {
+      if (!recv_frame(fd, s.in)) {
+        break;  // coordinator gone; nothing left to serve
+      }
+      if (handle_control(s, s.in)) {
+        continue;
+      }
+      if (s.in.type != MsgType::kJob) {
+        throw WireError("unexpected frame type " +
+                        std::to_string(static_cast<int>(s.in.type)) +
+                        " between jobs");
+      }
+      JobMsg job;
+      {
+        WireReader r = s.in.reader();
+        job = decode_job(r);
+      }
+      s.steal_wanted = false;  // requests for a previous job are stale
+      run_job(s, job, make, pool, store.get());
+    }
+    log.line("worker %u: shutdown", s.hello.worker);
+  } catch (const std::exception& e) {
+    log.line("worker %u: connection error: %s", s.hello.worker, e.what());
+  }
+  ::close(fd);
+}
+
+int serve_forever(const std::string& host, std::uint16_t port) {
+  const char* log_dir = std::getenv("REVISIM_DIST_LOG");
+  int listen_fd = -1;
+  try {
+    listen_fd = listen_tcp(host, port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "serve: listening on %s:%u\n", host.c_str(),
+               static_cast<unsigned>(port));
+  for (;;) {
+    int fd = -1;
+    try {
+      fd = accept_tcp(listen_fd, /*timeout_ms=*/-1);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: accept: %s\n", e.what());
+      continue;
+    }
+    if (fd < 0) {
+      continue;
+    }
+    std::string log_path;
+    if (log_dir != nullptr) {
+      log_path = std::string(log_dir) + "/worker-serve-" +
+                 std::to_string(::getpid()) + ".log";
+    }
+    serve_connection(fd, nullptr, log_path);
+  }
+}
+
+}  // namespace revisim::dist

@@ -1,0 +1,39 @@
+// Distributed exploration worker: serves prefix-identified jobs from a
+// coordinator socket by re-replaying the received prefix into its own warm
+// worlds and running the shared explore_core DFS - POR, dedupe and the
+// stack-splitting donation machinery unchanged.  One connection, one job at
+// a time; the worker is single-threaded and pumps coordinator messages
+// (cap credits, steal requests, shutdown) between executions via the abort
+// probe, so steal latency is bounded by one execution.
+//
+// With dedupe on, the worker routes first-sightings of a state through the
+// coordinator's sharded fingerprint service (a synchronous kFpInsert round
+// trip per distinct state) while caching every answer in a local
+// StateTable, so repeat sightings prune locally without touching the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/check/model_check.h"
+
+namespace revisim::dist {
+
+// Serves jobs on a connected coordinator socket until a shutdown message or
+// EOF.  `factory` may be null: the coordinator's hello must then name a
+// crash-world registry world (src/check/crash_worlds.h), which the worker
+// builds itself - the cluster-mode path.  `log_path`, when nonempty, gets
+// one line per protocol event (CI failure artifacts).
+void serve_connection(
+    int fd,
+    const std::function<std::unique_ptr<check::ExplorableWorld>()>& factory,
+    const std::string& log_path = {});
+
+// `revisim_cli serve`: listens on host:port and serves one coordinator
+// connection at a time, forever.  Worlds come from the registry.  Returns
+// only if the listener cannot be created (nonzero exit code).
+int serve_forever(const std::string& host, std::uint16_t port);
+
+}  // namespace revisim::dist

@@ -489,6 +489,41 @@ TEST(Witness, TextRoundTripIncludingCrashEntries) {
   EXPECT_EQ(back.schedule, w.schedule);
 }
 
+TEST(Witness, PorFlagRoundTripsAndStaysBackwardCompatible) {
+  // A witness from a POR run mixing crash entries: the `por 1` line (format
+  // v1 revision 2) must survive the round trip alongside the schedule.
+  Witness w;
+  w.spec.world = "aug-mutant";
+  w.spec.f = 2;
+  w.spec.m = 2;
+  w.spec.step_budget = 8;
+  w.max_steps = 32;
+  w.max_crashes = 1;
+  w.por = true;
+  w.verdict = "planted violation";
+  w.schedule = {0, make_crash_entry(1), 0, 0, make_crash_entry(0)};
+  const std::string text = check::to_text(w);
+  EXPECT_NE(text.find("por 1"), std::string::npos);
+  Witness back = check::parse_witness(text);
+  EXPECT_TRUE(back.por);
+  EXPECT_EQ(back.schedule, w.schedule);
+  EXPECT_EQ(back.verdict, w.verdict);
+  EXPECT_EQ(back.max_crashes, w.max_crashes);
+
+  // Non-POR witnesses serialize without the key - byte-identical to
+  // revision 1 output - and revision-1 files parse with por=false.
+  w.por = false;
+  const std::string old = check::to_text(w);
+  EXPECT_EQ(old.find("por"), std::string::npos);
+  EXPECT_FALSE(check::parse_witness(old).por);
+
+  // An explicit `por 0` is accepted; junk is rejected.
+  EXPECT_FALSE(
+      check::parse_witness("revisim-witness v1\npor 0\nend\n").por);
+  EXPECT_THROW(check::parse_witness("revisim-witness v1\npor yes\nend\n"),
+               std::invalid_argument);
+}
+
 TEST(Witness, ParserRejectsMalformedFiles) {
   EXPECT_THROW(check::parse_witness("not a witness\n"), std::invalid_argument);
   EXPECT_THROW(check::parse_witness("revisim-witness v1\nworld aug-bu\n"),

@@ -32,7 +32,21 @@ enforces four things:
    registers - the workload class partial-order reduction exists for - so a
    reduction below 2x means the sleep sets stopped working.
 
-4. Row schema: every record in the file carries the fields (with the types)
+4. Distributed bit parity: every dist-workers-N row on the checked
+   instances must be identical_to_baseline - the coordinator/worker engine
+   shares the in-process explorer's key-sorted merge, so any drift in
+   executions/exhausted/violation/witness means the wire encoding or the
+   cap-credit protocol broke serial accounting.
+
+5. Distributed overhead: dist-workers-2 must not run more than DIST_LIMIT
+   times slower than parallel-2 on the checked instances.  The distributed
+   engine pays fork + TCP serialization + prefix re-replay where the
+   in-process explorer hands off a warm world pointer; DIST_LIMIT bounds
+   that toll.  Small-tree wall clocks jitter heavily on throttled CI
+   containers, so the ratio only fails when the absolute gap also exceeds
+   DIST_ABS_SLACK_SECONDS.
+
+6. Row schema: every record in the file carries the fields (with the types)
    its record kind promises, so sweeps over commits can diff numbers
    without defensive parsing.
 
@@ -46,6 +60,9 @@ SLOWDOWN_LIMIT = 1.3
 DEDUPE_THREAD_LIMIT = 1.25
 DEDUPE_ABS_SLACK_SECONDS = 0.05
 POR_REDUCTION_MIN = 2.0
+DIST_LIMIT = 1.3
+DIST_ABS_SLACK_SECONDS = 0.05
+DIST_WORKER_CONFIGS = ("dist-workers-1", "dist-workers-2", "dist-workers-4")
 INSTANCES = ("register-script-554", "collect-writers-443")
 POR_INSTANCE = "register-script-554"
 
@@ -212,11 +229,59 @@ def main() -> int:
                 f"{POR_INSTANCE}: serial-por lost verdict/witness parity"
             )
 
+    # Gate 4: distributed runs are bit-identical at every worker count.
+    for instance in INSTANCES:
+        for config in DIST_WORKER_CONFIGS:
+            row = rows.get((instance, config))
+            if row is None:
+                failures.append(f"{instance}: missing {config} row")
+                continue
+            if not row.get("identical_to_baseline", False):
+                failures.append(
+                    f"{instance}: {config} result not bit-identical to serial"
+                )
+        ok = all(
+            rows.get((instance, c), {}).get("identical_to_baseline", False)
+            for c in DIST_WORKER_CONFIGS
+        )
+        print(
+            f"scaling-smoke: {instance}: dist-workers-{{1,2,4}} bit parity"
+            f" {'ok' if ok else 'FAIL'}"
+        )
+
+    # Gate 5: the socket engine's toll over the in-process explorer.
+    for instance in INSTANCES:
+        par = rows.get((instance, "parallel-2"))
+        dist = rows.get((instance, "dist-workers-2"))
+        if par is None or dist is None:
+            failures.append(f"{instance}: missing parallel-2/dist-workers-2 rows")
+            continue
+        ratio = dist["seconds"] / max(par["seconds"], 1e-9)
+        gap = dist["seconds"] - par["seconds"]
+        slow = ratio > DIST_LIMIT and gap > DIST_ABS_SLACK_SECONDS
+        verdict = "FAIL" if slow else "ok"
+        print(
+            f"scaling-smoke: {instance}: parallel-2 {par['seconds']:.3f}s,"
+            f" dist-workers-2 {dist['seconds']:.3f}s -> {ratio:.2f}x"
+            f" (limit {DIST_LIMIT}x + {DIST_ABS_SLACK_SECONDS}s slack)"
+            f" {verdict}"
+            f" [jobs={dist.get('jobs')} steals={dist.get('steals')}]"
+        )
+        if slow:
+            failures.append(
+                f"{instance}: dist-workers-2 is {ratio:.2f}x slower than "
+                f"parallel-2 (limit {DIST_LIMIT}x, gap {gap:.4f}s > "
+                f"{DIST_ABS_SLACK_SECONDS}s)"
+            )
+
     if failures:
         for failure in failures:
             print(f"scaling-smoke: FAIL: {failure}")
         return 1
-    print("scaling-smoke: PASS (scaling, dedupe threads, POR, schema)")
+    print(
+        "scaling-smoke: PASS (scaling, dedupe threads, POR, dist parity, "
+        "dist overhead, schema)"
+    )
     return 0
 
 
