@@ -289,10 +289,27 @@ bool run_instance(const std::string& name,
     dist::DistExploreOptions dopt;
     dopt.base = fast;
     dopt.workers = workers;
+    // Liveness off: these rows track the raw engine cost across recorded
+    // runs that predate the heartbeat layer.
+    dopt.heartbeat_interval_ms = 0;
     const auto d =
         timed([&] { return dist::dist_explore_schedules(make, dopt); });
     row("dist-workers-" + std::to_string(workers), d, workers, Mode::kExact,
         false, false);
+  }
+
+  // Liveness layer on, at an interval 20x tighter than the production
+  // default: pings, pongs and per-frame deadline checks ride the job
+  // protocol.  scaling_smoke.py gates this row against dist-workers-2 so a
+  // heartbeat implementation that stalls the pump loop fails CI.
+  {
+    dist::DistExploreOptions dopt;
+    dopt.base = fast;
+    dopt.workers = 2;
+    dopt.heartbeat_interval_ms = 25;
+    const auto d =
+        timed([&] { return dist::dist_explore_schedules(make, dopt); });
+    row("dist-workers-2-heartbeat", d, 2, Mode::kExact, false, false);
   }
 
   // Transposition pruning on: executions legitimately shrink to the number

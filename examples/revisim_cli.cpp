@@ -15,6 +15,9 @@
 //               [--f F] [--m M] [--budget B] [--max-crashes C]
 //               [--max-steps S] [--max-executions E] [--por] [--dedupe]
 //               [--shards K] [--retries R] [--witness PATH]
+//               [--journal PATH | --resume PATH] [--heartbeat-ms MS]
+//               [--heartbeat-timeout-ms MS] [--reconnect-ms MS]
+//               [--fault SPEC] [--coord-fault SPEC] [--halt-after-jobs N]
 //
 // Examples:
 //   revisim_cli --protocol racing --n 4 --m 2 --f 2 --seeds 50
@@ -32,6 +35,15 @@
 //   revisim_cli serve --port 7421
 //       long-running worker for cluster mode; a dist-explore elsewhere
 //       connects with --connect host:7421
+//   revisim_cli dist-explore --workers 4 --world aug-mutant --journal run.j
+//       journal the run; if it is interrupted, re-running the SAME command
+//       with --resume run.j instead of --journal reuses every finished
+//       region and completes with a bit-identical summary
+//   revisim_cli dist-explore --workers 2 --world aug-bu \
+//       --fault 'drop=0.02,seed=7' --retries 8
+//       deterministic fault drill: each worker's outbound frames drop with
+//       P=.02; seq-gap detection cuts, the worker re-dials, jobs re-queue,
+//       and the summary still matches the fault-free run
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -330,11 +342,48 @@ int run_dist_explore(int argc, char** argv) {
       opt.job_retries = std::strtoull(next("--retries"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--witness")) {
       witness_path = next("--witness");
+    } else if (!std::strcmp(argv[i], "--journal")) {
+      opt.journal_path = next("--journal");
+    } else if (!std::strcmp(argv[i], "--resume")) {
+      opt.journal_path = next("--resume");
+      opt.resume = true;
+    } else if (!std::strcmp(argv[i], "--heartbeat-ms")) {
+      opt.heartbeat_interval_ms = static_cast<std::uint32_t>(
+          std::strtoul(next("--heartbeat-ms"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--heartbeat-timeout-ms")) {
+      opt.heartbeat_timeout_ms = static_cast<std::uint32_t>(
+          std::strtoul(next("--heartbeat-timeout-ms"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--reconnect-ms")) {
+      opt.reconnect_window_ms = static_cast<std::uint32_t>(
+          std::strtoul(next("--reconnect-ms"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--halt-after-jobs")) {
+      opt.halt_after_jobs =
+          std::strtoull(next("--halt-after-jobs"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--fault")) {
+      try {
+        opt.worker_faults = dist::parse_fault_plan(next("--fault"));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad --fault spec: %s\n", e.what());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--coord-fault")) {
+      try {
+        opt.coordinator_faults = dist::parse_fault_plan(next("--coord-fault"));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad --coord-fault spec: %s\n", e.what());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
     }
   }
+  // Pin the world identity in the journal config: resume refuses a journal
+  // recorded for a different world/f/m/budget even before comparing the
+  // exploration options.
+  opt.journal_tag = spec.world + " f=" + std::to_string(spec.f) +
+                    " m=" + std::to_string(spec.m) +
+                    " budget=" + std::to_string(spec.step_budget);
   try {
     check::ScheduleExploreResult res;
     if (!endpoints.empty()) {
@@ -353,6 +402,12 @@ int run_dist_explore(int argc, char** argv) {
                 res.exhausted ? "exhausted" : "truncated at cap");
     if (res.error) {
       std::fprintf(stderr, "partial summary: %s\n", res.error->c_str());
+      if (!opt.journal_path.empty()) {
+        std::fprintf(stderr,
+                     "run journal kept at %s; re-run with --resume %s to "
+                     "pick up where this run stopped\n",
+                     opt.journal_path.c_str(), opt.journal_path.c_str());
+      }
       return 2;
     }
     if (!res.violation) {

@@ -1,6 +1,7 @@
 #include "src/check/explore_merge.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace revisim::check::detail {
 
@@ -97,6 +98,61 @@ ScheduleExploreResult merge_job_results(std::vector<MergeJob>& jobs,
   res.executions = static_cast<std::size_t>(cum);
   res.exhausted = true;
   return res;
+}
+
+std::vector<ResumeAction> plan_resume(const std::vector<ResumeJob>& jobs) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    index.emplace(jobs[i].id, i);
+  }
+  // covered[i]: some proper ancestor of i is not done (so i's region is
+  // re-covered by that ancestor's re-run).  Memoized walk up the parent
+  // chain; journals are append-only so chains are acyclic, but a depth
+  // guard keeps corrupt input from spinning.
+  enum : std::int8_t { kUnknown = -1, kNo = 0, kYes = 1 };
+  std::vector<std::int8_t> covered(jobs.size(), kUnknown);
+  auto resolve = [&](std::size_t start) {
+    std::vector<std::size_t> chain;
+    std::size_t i = start;
+    std::int8_t verdict = kNo;
+    while (covered[i] == kUnknown) {
+      chain.push_back(i);
+      if (!jobs[i].has_parent) {
+        break;
+      }
+      const auto it = index.find(jobs[i].parent);
+      if (it == index.end() || chain.size() > jobs.size()) {
+        verdict = kYes;  // orphan or cycle: conservatively discard
+        break;
+      }
+      const std::size_t p = it->second;
+      if (covered[p] != kUnknown) {
+        verdict = covered[p] == kYes || !jobs[p].done ? kYes : kNo;
+        break;
+      }
+      if (!jobs[p].done) {
+        verdict = kYes;
+        // The parent itself still resolves against ITS ancestors; only the
+        // children below it are settled.  Stop the chain here.
+        break;
+      }
+      i = p;
+    }
+    for (const std::size_t c : chain) {
+      covered[c] = verdict;
+    }
+  };
+  std::vector<ResumeAction> plan(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    resolve(i);
+    if (covered[i] == kYes) {
+      plan[i] = ResumeAction::kDiscard;
+    } else {
+      plan[i] = jobs[i].done ? ResumeAction::kReuse : ResumeAction::kRerun;
+    }
+  }
+  return plan;
 }
 
 }  // namespace revisim::check::detail

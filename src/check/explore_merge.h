@@ -87,4 +87,33 @@ ScheduleExploreResult merge_job_results(std::vector<MergeJob>& jobs,
                                         std::size_t attempts,
                                         const std::string& unfinished_error);
 
+// --- checkpoint-resume planning ---------------------------------------------
+//
+// A resumed run (src/dist/journal.h) replays the journaled job genealogy
+// to decide what each recorded region contributes.  The invariant that
+// makes this merge-exact: a job's original (prefix, choices) region equals
+// its own remaining region plus the regions of everything it ever donated,
+// recursively - so re-running an incomplete job from its original spec
+// re-covers ALL its descendants, and those descendants (even completed
+// ones) must be excluded or they would be double counted.
+
+enum class ResumeAction : std::uint8_t {
+  kReuse,    // done, all ancestors done: merge the journaled result as-is
+  kRerun,    // not done, all ancestors done: re-run from the recorded spec
+  kDiscard,  // an ancestor reruns; this region is re-covered by it
+};
+
+struct ResumeJob {
+  std::uint64_t id = 0;
+  bool has_parent = false;
+  std::uint64_t parent = 0;
+  bool done = false;
+};
+
+// One action per input job (same order).  A parent id that matches no job
+// in the list - corruption an append-only journal cannot produce - is
+// treated as an un-done ancestor, so the orphan is conservatively
+// discarded rather than double counted.
+std::vector<ResumeAction> plan_resume(const std::vector<ResumeJob>& jobs);
+
 }  // namespace revisim::check::detail

@@ -13,14 +13,17 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
+#include <unordered_map>
 #include <utility>
 
 #include "src/check/explore_core.h"
 #include "src/check/explore_merge.h"
 #include "src/check/state_table.h"
+#include "src/dist/journal.h"
 #include "src/dist/wire.h"
 #include "src/dist/worker.h"
 
@@ -61,7 +64,11 @@ class Log {
   std::FILE* file_ = nullptr;
 };
 
-// The distributed twin of parallel_explore.cpp's JobRecord.
+// The distributed twin of parallel_explore.cpp's JobRecord, extended with
+// the genealogy the fault-recovery machinery needs: a lost attempt's
+// re-run walks the job's FULL original region, so everything the attempt
+// donated (children, recursively) must be cancelled or it would be double
+// counted.
 struct DistJob {
   enum State : int { kPending, kRunning, kDone, kFailed, kAborted };
 
@@ -72,11 +79,16 @@ struct DistJob {
   std::vector<ProcessId> sleep;
   std::uint32_t sleep_inherited = 0;  // see DonateMsg
   std::size_t donor = 0;
-  bool donated = false;            // false only for the seed job
+  bool donated = false;            // false for the seed and resumed jobs
   State state = kPending;          // guarded by the coordinator mutex
   std::size_t failures = 0;        // failed/lost attempts consumed
-  std::size_t donated_in_attempt = 0;
   bool abort_sent = false;         // a kCredit abort is already in flight
+  // Genealogy (guarded by the coordinator mutex).  `children` spans every
+  // attempt; `cancelled` excludes the record from the merge because an
+  // ancestor's re-run re-covers its region.
+  DistJob* parent = nullptr;
+  std::vector<DistJob*> children;
+  bool cancelled = false;
   // Lower bound on this region's executions, fed by kLive messages; same
   // cap-bound role as JobRecord::live_execs.
   std::atomic<std::uint64_t> live{0};
@@ -86,15 +98,34 @@ struct DistJob {
 
 // One worker connection.  The reused writer is the per-connection
 // serialization buffer; send_mu serializes frame writes (the connection's
-// own thread and peers pushing credits/steal requests).
+// own thread and peers pushing credits/steal requests).  The session
+// outlives individual sockets: on a lost connection the serve thread keeps
+// the Conn and waits for the worker to re-handshake under its token.
 struct Conn {
-  int fd = -1;
+  Channel ch;
   std::size_t worker = 0;
+  std::uint64_t session = 0;  // token the reconnecting worker echoes
   std::mutex send_mu;
   WireWriter out;
   Frame in;
+  FaultPlan faults;  // per-connection C->W fault plan storage
   bool alive = true;           // guarded by CoState::mu
   DistJob* current = nullptr;  // guarded by CoState::mu
+
+  // Liveness bookkeeping; touched only by the connection's serve thread.
+  Clock::time_point last_heard{};
+  Clock::time_point last_ping{};
+  std::uint64_t ping_nonce = 0;
+
+  // Reconnect handoff (guarded by CoState::mu): the acceptor thread parks
+  // the re-handshaken channel here and the serve thread adopts it.
+  bool awaiting_reconnect = false;
+  std::unique_ptr<Channel> pending;
+
+  // Cluster mode: the endpoint to re-dial (empty host = fork mode, where
+  // the worker re-dials us through the kept-open listener instead).
+  std::string host;
+  std::uint16_t port = 0;
 };
 
 struct CoState {
@@ -102,21 +133,26 @@ struct CoState {
   std::uint64_t cap = 0;
   std::optional<Clock::time_point> deadline;
   Log* log = nullptr;
+  JournalWriter* journal = nullptr;  // nullptr = journaling off
+  int listen_fd = -1;                // reconnect acceptor source; -1 = none
 
   std::mutex mu;
   std::condition_variable cv;
   std::vector<std::unique_ptr<DistJob>> records;  // append-only
+  std::uint64_t next_id = 0;  // ids survive resume, so != records index
   std::size_t pending = 0;
   std::size_t running = 0;
   std::size_t alive = 0;   // connections still serving
+  std::size_t completions = 0;  // non-cancelled kDone resolutions
   bool stop = false;
+  bool acceptor_stop = false;
   bool first_job_shipped = false;
   bool have_violation = false;
   std::vector<ProcessId> violation_key;
   std::size_t steals = 0;
   // Nonempty once the run lost the means to finish outstanding work (every
-  // worker disconnected, or the fingerprint audit found a collision);
-  // becomes the merged partial summary's error.
+  // worker disconnected, the fingerprint audit found a collision, or the
+  // halt_after_jobs hook fired); becomes the merged partial summary's error.
   std::string unfinished_reason;
   std::vector<std::unique_ptr<Conn>> conns;
 
@@ -128,17 +164,29 @@ struct CoState {
 
   // Sum of live execution counters over records lex-before `key` - a lower
   // bound on the serial execution count before this record's region.
-  // Caller holds mu.
+  // Cancelled records hold live == 0 (their region is re-counted by the
+  // ancestor that re-runs it).  Caller holds mu.
   std::uint64_t bound_before(const std::vector<ProcessId>& key) const {
     std::uint64_t sum = 0;
     for (const auto& r : records) {
-      if (key_less(r->key, key)) {
+      if (!r->cancelled && key_less(r->key, key)) {
         sum += r->live.load(std::memory_order_relaxed);
       }
     }
     return sum;
   }
 };
+
+// Poll granularity: with heartbeats armed the serve loops must wake often
+// enough to ping on the interval and notice the timeout promptly.
+int tick_ms(const CoState& co, int cap) {
+  const std::uint32_t hb = co.options->heartbeat_interval_ms;
+  if (hb == 0) {
+    return cap;
+  }
+  return static_cast<int>(std::min<std::uint32_t>(
+      std::max<std::uint32_t>(hb / 2, 10), static_cast<std::uint32_t>(cap)));
+}
 
 // Sends one frame to `conn`, serialized against concurrent senders.  A send
 // failure is NOT fatal here: the connection's own thread will observe the
@@ -149,14 +197,45 @@ void send_to(Conn& conn, MsgType type, Encode encode) {
   conn.out.clear();
   encode(conn.out);
   try {
-    send_frame(conn.fd, type, conn.out);
+    conn.ch.send(type, conn.out);
   } catch (const WireError&) {
   }
 }
 
+// Heartbeat driver, called from every serve-loop iteration (idle or
+// mid-job): pings on the interval even while inbound frames are flowing
+// (the worker's liveness clock only advances on frames it HEARS), and
+// throws once the worker has been silent past the timeout.  Touches only
+// the serve thread's own liveness fields; safe with or without mu.
+void heartbeat(CoState& co, Conn& conn) {
+  const std::uint32_t interval = co.options->heartbeat_interval_ms;
+  if (interval == 0) {
+    return;
+  }
+  const auto now = Clock::now();
+  const auto silent =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                            conn.last_heard);
+  if (silent.count() >= co.options->heartbeat_timeout_ms) {
+    throw WireError("heartbeat timeout: worker " +
+                    std::to_string(conn.worker) + " silent for " +
+                    std::to_string(silent.count()) + "ms");
+  }
+  if (now - conn.last_ping >= std::chrono::milliseconds(interval)) {
+    conn.last_ping = now;
+    const std::uint64_t nonce = ++conn.ping_nonce;
+    send_to(conn, MsgType::kPing, [nonce](WireWriter& w) {
+      PingMsg m;
+      m.nonce = nonce;
+      encode_ping(w, m);
+    });
+  }
+}
+
 // Pushes kCredit aborts to every running job the merge provably cannot
-// read: lex-earlier regions already secured the cap, or a lex-earlier
-// violation is final.  Caller holds mu (lock order: mu before send_mu).
+// read: lex-earlier regions already secured the cap, a lex-earlier
+// violation is final, or the job was cancelled outright (an ancestor
+// re-runs its region).  Caller holds mu (lock order: mu before send_mu).
 void push_aborts(CoState& co) {
   for (const auto& c : co.conns) {
     if (!c->alive || c->current == nullptr || c->current->abort_sent) {
@@ -165,7 +244,8 @@ void push_aborts(CoState& co) {
     DistJob* rec = c->current;
     const bool dead_key =
         co.have_violation && key_less(co.violation_key, rec->key);
-    if (co.stop || dead_key || co.bound_before(rec->key) >= co.cap) {
+    if (co.stop || dead_key || rec->cancelled ||
+        co.bound_before(rec->key) >= co.cap) {
       rec->abort_sent = true;
       const std::uint64_t id = rec->id;
       send_to(*c, MsgType::kCredit, [id](WireWriter& w) {
@@ -178,17 +258,55 @@ void push_aborts(CoState& co) {
   }
 }
 
-// Re-queues a lost or throwing job, or fails it once retries are exhausted
-// or the attempt donated regions (a rerun would re-explore them).  Caller
-// holds mu.
+// Cancels every descendant of `rec`, recursively: the re-run of `rec`
+// walks its full original region, descendants included, so keeping their
+// records would double count.  Pending descendants leave the queue,
+// running ones are left to their abort credit (caller runs push_aborts),
+// finished ones are excluded from the merge, and the journal gets a
+// tombstone so a later resume ignores them too.  Caller holds mu.
+void cancel_subtree(CoState& co, DistJob* rec) {
+  for (DistJob* child : rec->children) {
+    if (!child->cancelled) {
+      child->cancelled = true;
+      child->live.store(0, std::memory_order_relaxed);
+      if (child->state == DistJob::kPending) {
+        child->state = DistJob::kAborted;
+        --co.pending;
+      }
+      if (co.journal != nullptr) {
+        co.journal->job_discarded(child->id);
+      }
+      co.log->line("coordinator: job %llu cancelled (ancestor %llu re-runs)",
+                   static_cast<unsigned long long>(child->id),
+                   static_cast<unsigned long long>(rec->id));
+    }
+    cancel_subtree(co, child);
+  }
+}
+
+// Re-queues a lost or throwing job - cancelling everything the lost
+// attempt donated - or fails it once retries are exhausted.  With
+// dedupe_states on, a lost attempt fails immediately: its claim-then-walk
+// claims survive in the shard table, so a re-run could prune regions the
+// lost walk never finished (checkpoint-resume restores soundness by
+// starting a fresh table).  Caller holds mu.
 void requeue_or_fail(CoState& co, DistJob* rec, const std::string& why) {
   ++rec->failures;
-  if (rec->donated_in_attempt > 0 || rec->failures > co.options->job_retries) {
+  if (rec->failures > co.options->job_retries) {
     rec->state = DistJob::kFailed;
     rec->error = why;
     co.log->line("coordinator: job %llu failed (%s)",
                  static_cast<unsigned long long>(rec->id), why.c_str());
+  } else if (co.options->base.dedupe_states) {
+    rec->state = DistJob::kFailed;
+    rec->error =
+        why +
+        " (dedupe_states keeps the lost attempt's state claims, so a re-run "
+        "could under-explore; resume from the run journal instead)";
+    co.log->line("coordinator: job %llu failed, dedupe forbids requeue (%s)",
+                 static_cast<unsigned long long>(rec->id), why.c_str());
   } else {
+    cancel_subtree(co, rec);
     rec->state = DistJob::kPending;
     rec->live.store(0, std::memory_order_relaxed);
     rec->abort_sent = false;
@@ -198,15 +316,42 @@ void requeue_or_fail(CoState& co, DistJob* rec, const std::string& why) {
   }
 }
 
+// Journals a completed walk the merge may reuse verbatim (fully explored
+// or violating; partial cap/stop walks re-run on resume) and advances the
+// halt_after_jobs hook.  Caller holds mu.
+void note_completion(CoState& co, DistJob* rec) {
+  if (co.journal != nullptr &&
+      (rec->result.fully_explored || rec->result.violation.has_value())) {
+    co.journal->job_done(rec->id, rec->result);
+  }
+  ++co.completions;
+  if (co.options->halt_after_jobs != 0 && !co.stop &&
+      co.completions >= co.options->halt_after_jobs) {
+    co.stop = true;
+    if (co.unfinished_reason.empty()) {
+      co.unfinished_reason = "halted by test instrumentation after " +
+                             std::to_string(co.completions) +
+                             " completed job(s)";
+    }
+    co.log->line("coordinator: halt_after_jobs hook fired at %zu",
+                 co.completions);
+    push_aborts(co);
+  }
+}
+
 bool past_deadline(const CoState& co) {
   return co.deadline && Clock::now() >= *co.deadline;
 }
 
-// Hello/ack handshake for one connection.  Returns false on rejection.
-bool handshake(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
+HelloMsg make_hello(const CoState& co, std::uint32_t worker,
+                    std::uint64_t session,
+                    const check::CrashWorldSpec* spec) {
   const check::ScheduleExploreOptions& base = co.options->base;
   HelloMsg hello;
-  hello.worker = static_cast<std::uint32_t>(conn.worker);
+  hello.worker = worker;
+  hello.session = session;
+  hello.heartbeat_interval_ms = co.options->heartbeat_interval_ms;
+  hello.heartbeat_timeout_ms = co.options->heartbeat_timeout_ms;
   hello.max_steps = base.max_steps;
   hello.warm_worlds = base.warm_worlds;
   hello.max_crashes = base.max_crashes;
@@ -222,11 +367,22 @@ bool handshake(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
     hello.m = spec->m;
     hello.step_budget = spec->step_budget;
   }
+  return hello;
+}
+
+// Hello/ack handshake on conn's current channel.  Returns false on
+// rejection or I/O failure.
+bool handshake(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
+  const HelloMsg hello = make_hello(
+      co, static_cast<std::uint32_t>(conn.worker), conn.session, spec);
   try {
-    conn.out.clear();
-    encode_hello(conn.out, hello);
-    send_frame(conn.fd, MsgType::kHello, conn.out);
-    if (!wait_readable(conn.fd, 10'000) || !recv_frame(conn.fd, conn.in) ||
+    {
+      std::lock_guard<std::mutex> g(conn.send_mu);
+      conn.out.clear();
+      encode_hello(conn.out, hello);
+      conn.ch.send(MsgType::kHello, conn.out);
+    }
+    if (!conn.ch.wait(10'000) || !conn.ch.recv(conn.in) ||
         conn.in.type != MsgType::kHelloAck) {
       throw WireError("no hello-ack");
     }
@@ -274,24 +430,42 @@ void handle_fp_insert(CoState& co, Conn& conn) {
           [&reply](WireWriter& w) { encode_fp_reply(w, reply); });
 }
 
-// One thread per worker connection: claim the lex-earliest pending job,
-// ship it, and pump the worker's messages until the job resolves.  The
-// exact structure of parallel_explore.cpp's run_one_worker, with the
-// in-process hooks replaced by their wire twins.
-void serve_worker(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
-  if (!handshake(co, conn, spec)) {
-    std::lock_guard<std::mutex> g(co.mu);
-    conn.alive = false;
-    if (--co.alive == 0 && (co.pending > 0 || co.running > 0)) {
-      co.stop = true;
-      if (co.unfinished_reason.empty()) {
-        co.unfinished_reason = "every worker disconnected before the run finished";
-      }
+// Drains frames queued on an idle connection (only heartbeat traffic is
+// legal between jobs) and runs the heartbeat.  Caller holds mu; throws on
+// connection death.
+void idle_tick(CoState& co, Conn& conn) {
+  for (;;) {
+    const int got = conn.ch.try_recv(conn.in);
+    if (got == 0) {
+      break;
     }
-    co.cv.notify_all();
-    return;
+    if (got < 0) {
+      throw WireError("connection closed");
+    }
+    conn.last_heard = Clock::now();
+    if (conn.in.type == MsgType::kPing) {
+      WireReader r = conn.in.reader();
+      const PingMsg ping = decode_ping(r);
+      send_to(conn, MsgType::kPong, [&ping](WireWriter& w) {
+        PongMsg m;
+        m.nonce = ping.nonce;
+        encode_pong(w, m);
+      });
+    } else if (conn.in.type != MsgType::kPong) {
+      throw WireError("unexpected frame type " +
+                      std::to_string(static_cast<int>(conn.in.type)) +
+                      " between jobs");
+    }
   }
+  heartbeat(co, conn);
+}
 
+// Claim/ship/pump loop for one connected session: the exact structure of
+// parallel_explore.cpp's run_one_worker with the in-process hooks replaced
+// by their wire twins.  Returns on a clean run end; throws WireError when
+// the connection dies (socket error, protocol violation, heartbeat
+// timeout) - the caller owns requeue + reconnect.
+void serve_session(CoState& co, Conn& conn) {
   std::unique_lock<std::mutex> lk(co.mu);
   for (;;) {
     DistJob* rec = nullptr;
@@ -322,17 +496,17 @@ void serve_worker(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
           }
         }
       }
-      co.cv.wait_for(lk, std::chrono::milliseconds(100));
+      idle_tick(co, conn);
+      co.cv.wait_for(lk, std::chrono::milliseconds(tick_ms(co, 100)));
     }
     if (rec == nullptr || co.stop) {
       co.cv.notify_all();  // cascade termination to the other waiters
-      break;
+      return;
     }
     rec->state = DistJob::kRunning;
     --co.pending;
     ++co.running;
     conn.current = rec;
-    rec->donated_in_attempt = 0;
     rec->abort_sent = false;
     rec->live.store(0, std::memory_order_relaxed);
     if (rec->donated && rec->donor != conn.worker) {
@@ -373,82 +547,118 @@ void serve_worker(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
         static_cast<unsigned long long>(job.budget));
 
     lk.unlock();
-    bool conn_dead = false;
-    std::string death = "worker " + std::to_string(conn.worker) +
-                        " disconnected mid-job";
-    try {
-      {
-        std::lock_guard<std::mutex> g(conn.send_mu);
-        conn.out.clear();
-        encode_job(conn.out, job);
-        send_frame(conn.fd, MsgType::kJob, conn.out);
+    {
+      std::lock_guard<std::mutex> g(conn.send_mu);
+      conn.out.clear();
+      encode_job(conn.out, job);
+      conn.ch.send(MsgType::kJob, conn.out);
+    }
+    const int tick = tick_ms(co, 200);
+    int stop_stall_ms = 0;
+    for (bool resolved = false; !resolved;) {
+      // Ping even while frames flow: the worker's liveness clock advances
+      // only on frames it hears, and a busy coordinator otherwise sends
+      // nothing for the whole job.
+      heartbeat(co, conn);
+      if (!conn.ch.wait(tick)) {
+        std::lock_guard<std::mutex> g(co.mu);
+        if (past_deadline(co) && !co.stop) {
+          co.stop = true;
+          co.cv.notify_all();
+        }
+        if (co.stop) {
+          push_aborts(co);
+          // A stopped worker answers the abort credit within one
+          // execution; a worker that stays silent for 10s of stop is
+          // wedged or gone - cut it loose so the run can summarize.
+          stop_stall_ms += tick;
+          if (stop_stall_ms >= 10'000) {
+            throw WireError("worker unresponsive after stop");
+          }
+        }
+        continue;
       }
-      int stalls_after_stop = 0;
-      for (bool resolved = false; !resolved;) {
-        if (!wait_readable(conn.fd, 200)) {
-          std::lock_guard<std::mutex> g(co.mu);
-          if (past_deadline(co) && !co.stop) {
-            co.stop = true;
-            co.cv.notify_all();
-          }
-          if (co.stop) {
-            push_aborts(co);
-            // A stopped worker answers the abort credit within one
-            // execution; a worker that stays silent for 10s of stop is
-            // wedged or gone - cut it loose so the run can summarize.
-            if (++stalls_after_stop >= 50) {
-              throw WireError("worker unresponsive after stop");
-            }
-          }
-          continue;
+      if (!conn.ch.recv(conn.in)) {
+        throw WireError("connection closed");
+      }
+      conn.last_heard = Clock::now();
+      switch (conn.in.type) {
+        case MsgType::kPing: {
+          WireReader r = conn.in.reader();
+          const PingMsg ping = decode_ping(r);
+          send_to(conn, MsgType::kPong, [&ping](WireWriter& w) {
+            PongMsg m;
+            m.nonce = ping.nonce;
+            encode_pong(w, m);
+          });
+          break;
         }
-        if (!recv_frame(conn.fd, conn.in)) {
-          throw WireError("connection closed");
-        }
-        switch (conn.in.type) {
-          case MsgType::kLive: {
-            WireReader r = conn.in.reader();
-            const LiveMsg live = decode_live(r);
-            if (live.id == rec->id) {
+        case MsgType::kPong:
+          break;  // liveness bookkeeping happened above
+        case MsgType::kLive: {
+          WireReader r = conn.in.reader();
+          const LiveMsg live = decode_live(r);
+          if (live.id == rec->id) {
+            std::lock_guard<std::mutex> g(co.mu);
+            // A cancelled job's credits must stay zero: bound_before
+            // feeding a cancelled region's executions into budgets would
+            // double count against the ancestor's re-run.
+            if (!rec->cancelled) {
               rec->live.store(live.executions, std::memory_order_relaxed);
-              std::lock_guard<std::mutex> g(co.mu);
               push_aborts(co);
             }
+          }
+          break;
+        }
+        case MsgType::kDonate: {
+          WireReader r = conn.in.reader();
+          DonateMsg d = decode_donate(r);
+          if (d.choices.empty()) {
+            throw WireError("donation with no choices");
+          }
+          std::lock_guard<std::mutex> g(co.mu);
+          if (rec->cancelled) {
+            // The donated region is inside rec's region, which an
+            // ancestor's re-run already re-covers.
+            co.log->line(
+                "coordinator: donation from cancelled job %llu dropped",
+                static_cast<unsigned long long>(rec->id));
             break;
           }
-          case MsgType::kDonate: {
-            WireReader r = conn.in.reader();
-            DonateMsg d = decode_donate(r);
-            if (d.choices.empty()) {
-              throw WireError("donation with no choices");
-            }
-            std::lock_guard<std::mutex> g(co.mu);
-            auto child = std::make_unique<DistJob>();
-            child->id = co.records.size();
-            child->key = d.prefix;
-            child->key.push_back(d.choices[0]);
-            child->prefix = std::move(d.prefix);
-            child->choices = std::move(d.choices);
-            child->sleep = std::move(d.sleep);
-            child->sleep_inherited = d.sleep_inherited;
-            child->donor = conn.worker;
-            child->donated = true;
-            co.records.push_back(std::move(child));
-            ++co.pending;
-            ++rec->donated_in_attempt;
-            co.cv.notify_one();
-            break;
+          auto child = std::make_unique<DistJob>();
+          child->id = co.next_id++;
+          child->key = d.prefix;
+          child->key.push_back(d.choices[0]);
+          child->prefix = std::move(d.prefix);
+          child->choices = std::move(d.choices);
+          child->sleep = std::move(d.sleep);
+          child->sleep_inherited = d.sleep_inherited;
+          child->donor = conn.worker;
+          child->donated = true;
+          child->parent = rec;
+          rec->children.push_back(child.get());
+          if (co.journal != nullptr) {
+            co.journal->job_created(child->id, true, rec->id, child->prefix,
+                                    child->choices, child->sleep,
+                                    child->sleep_inherited);
           }
-          case MsgType::kFpInsert:
-            handle_fp_insert(co, conn);
-            break;
-          case MsgType::kJobResult: {
-            WireReader r = conn.in.reader();
-            JobResultMsg msg = decode_job_result(r);
-            std::lock_guard<std::mutex> g(co.mu);
+          co.records.push_back(std::move(child));
+          ++co.pending;
+          co.cv.notify_one();
+          break;
+        }
+        case MsgType::kFpInsert:
+          handle_fp_insert(co, conn);
+          break;
+        case MsgType::kJobResult: {
+          WireReader r = conn.in.reader();
+          JobResultMsg msg = decode_job_result(r);
+          std::lock_guard<std::mutex> g(co.mu);
+          if (!rec->cancelled) {
             rec->live.store(msg.result.executions, std::memory_order_relaxed);
             if (msg.result.violation &&
-                (!co.have_violation || key_less(rec->key, co.violation_key))) {
+                (!co.have_violation ||
+                 key_less(rec->key, co.violation_key))) {
               co.have_violation = true;
               co.violation_key = rec->key;
             }
@@ -457,63 +667,334 @@ void serve_worker(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
             // exactly like the in-process explorer: the merge either never
             // reads them or reports the truncation they represent.
             rec->state = DistJob::kDone;
-            --co.running;
-            conn.current = nullptr;
-            push_aborts(co);
-            co.cv.notify_all();
-            resolved = true;
-            break;
+            note_completion(co, rec);
+          } else {
+            // The walk raced its cancellation; the result is already
+            // re-covered by an ancestor's re-run.
+            rec->state = DistJob::kDone;
           }
-          case MsgType::kJobError: {
-            WireReader r = conn.in.reader();
-            const JobErrorMsg msg = decode_job_error(r);
-            std::lock_guard<std::mutex> g(co.mu);
-            requeue_or_fail(co, rec, msg.message);
-            --co.running;
-            conn.current = nullptr;
-            co.cv.notify_all();
-            resolved = true;
-            break;
-          }
-          default:
-            throw WireError("unexpected frame type " +
-                            std::to_string(static_cast<int>(conn.in.type)));
+          --co.running;
+          conn.current = nullptr;
+          push_aborts(co);
+          co.cv.notify_all();
+          resolved = true;
+          break;
         }
+        case MsgType::kJobError: {
+          WireReader r = conn.in.reader();
+          const JobErrorMsg msg = decode_job_error(r);
+          std::lock_guard<std::mutex> g(co.mu);
+          if (!rec->cancelled) {
+            requeue_or_fail(co, rec, msg.message);
+            push_aborts(co);
+          } else {
+            rec->state = DistJob::kDone;  // cancelled: merged as skipped
+          }
+          --co.running;
+          conn.current = nullptr;
+          co.cv.notify_all();
+          resolved = true;
+          break;
+        }
+        default:
+          throw WireError("unexpected frame type " +
+                          std::to_string(static_cast<int>(conn.in.type)));
+      }
+    }
+    lk.lock();
+  }
+}
+
+// Waits for the lost worker's session to come back within the reconnect
+// window: fork mode parks on the cv until the acceptor thread delivers a
+// re-handshaken channel; cluster mode re-dials the recorded endpoint.
+// Caller holds mu (the lock is dropped around the cluster dial); true
+// means conn.ch carries a fresh handshaken connection.
+bool reattach(CoState& co, Conn& conn, std::unique_lock<std::mutex>& lk,
+              const check::CrashWorldSpec* spec) {
+  const auto window =
+      std::chrono::milliseconds(co.options->reconnect_window_ms);
+  if (!conn.host.empty()) {
+    lk.unlock();
+    bool ok = false;
+    try {
+      const int fd = connect_tcp(conn.host, conn.port, window, conn.worker);
+      conn.ch.adopt(fd);
+      conn.ch.set_faults(conn.faults.any() ? &conn.faults : nullptr);
+      ok = handshake(co, conn, spec);
+      if (!ok) {
+        conn.ch.close();
       }
     } catch (const std::exception& e) {
-      conn_dead = true;
-      death += " (";
-      death += e.what();
-      death += ")";
+      co.log->line("coordinator: worker %zu re-dial failed: %s", conn.worker,
+                   e.what());
     }
-
     lk.lock();
-    if (conn_dead) {
-      co.log->line("coordinator: %s", death.c_str());
-      conn.alive = false;
-      requeue_or_fail(co, rec, death);
-      --co.running;
-      conn.current = nullptr;
-      if (--co.alive == 0 && (co.pending > 0 || co.running > 0)) {
-        co.stop = true;
-        if (co.unfinished_reason.empty()) {
-          co.unfinished_reason =
-              "every worker disconnected with work outstanding (last: " +
-              death + ")";
-        }
+    return ok && !co.stop;
+  }
+  if (co.listen_fd < 0) {
+    return false;
+  }
+  conn.awaiting_reconnect = true;
+  const auto deadline = Clock::now() + window;
+  while (!co.stop && !(co.pending == 0 && co.running == 0) &&
+         conn.pending == nullptr && Clock::now() < deadline) {
+    co.cv.wait_until(lk, deadline);
+  }
+  conn.awaiting_reconnect = false;
+  if (conn.pending == nullptr || co.stop) {
+    conn.pending.reset();
+    return false;
+  }
+  conn.ch = std::move(*conn.pending);
+  conn.pending.reset();
+  conn.ch.set_faults(conn.faults.any() ? &conn.faults : nullptr);
+  return true;
+}
+
+// One thread per worker session: serve the connection, and on a lost one
+// requeue the in-flight job (cancelling what its attempt donated), then
+// wait for the worker to reconnect before giving the session up for dead.
+void serve_worker(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
+  const bool connected = handshake(co, conn, spec);
+  std::unique_lock<std::mutex> lk(co.mu);
+  if (!connected) {
+    conn.alive = false;
+    if (--co.alive == 0 && (co.pending > 0 || co.running > 0)) {
+      co.stop = true;
+      if (co.unfinished_reason.empty()) {
+        co.unfinished_reason =
+            "every worker disconnected before the run finished";
       }
+    }
+    co.cv.notify_all();
+    return;
+  }
+  conn.last_heard = conn.last_ping = Clock::now();
+
+  for (;;) {
+    std::string death;
+    bool finished = false;
+    lk.unlock();
+    try {
+      serve_session(co, conn);
+      finished = true;
+    } catch (const std::exception& e) {
+      death = "worker " + std::to_string(conn.worker) +
+              " disconnected: " + e.what();
+    }
+    lk.lock();
+    if (finished) {
+      // Normal exit: hand the worker its shutdown and retire the session.
+      send_to(conn, MsgType::kShutdown, [](WireWriter&) {});
+      conn.alive = false;
+      --co.alive;
       co.cv.notify_all();
       return;
     }
-  }
 
-  // Normal exit: hand the worker its shutdown and retire the connection.
-  lk.unlock();
-  send_to(conn, MsgType::kShutdown, [](WireWriter&) {});
-  lk.lock();
-  conn.alive = false;
-  --co.alive;
-  co.cv.notify_all();
+    co.log->line("coordinator: %s", death.c_str());
+    conn.alive = false;  // peers stop routing credits/steal pokes here
+    if (conn.current != nullptr) {
+      requeue_or_fail(co, conn.current, death);
+      --co.running;
+      conn.current = nullptr;
+      push_aborts(co);
+    }
+    co.cv.notify_all();
+    // Close the dead socket NOW (not at run end): a partitioned-but-alive
+    // worker sees the EOF and knows to re-dial.  Safe against concurrent
+    // send_to: every cross-thread send happens under mu, which we hold.
+    conn.ch.close();
+
+    if (!co.stop && co.options->reconnect_window_ms > 0 &&
+        reattach(co, conn, lk, spec)) {
+      conn.alive = true;
+      conn.last_heard = conn.last_ping = Clock::now();
+      co.log->line("coordinator: worker %zu session resumed", conn.worker);
+      continue;
+    }
+
+    if (--co.alive == 0 && (co.pending > 0 || co.running > 0)) {
+      co.stop = true;
+      if (co.unfinished_reason.empty()) {
+        co.unfinished_reason =
+            "every worker disconnected with work outstanding (last: " +
+            death + ")";
+      }
+    }
+    co.cv.notify_all();
+    return;
+  }
+}
+
+// Accepts re-dialing fork-mode workers on the kept-open listener, runs the
+// provisional handshake (the worker's HelloAck echoes its prior session
+// token with resume=true) and parks the channel on the matching session's
+// Conn for its serve thread to adopt.
+void acceptor_loop(CoState& co, const check::CrashWorldSpec* spec) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> g(co.mu);
+      if (co.acceptor_stop) {
+        return;
+      }
+    }
+    int fd = -1;
+    try {
+      fd = accept_tcp(co.listen_fd, 200);
+    } catch (const std::exception&) {
+      return;  // listener gone
+    }
+    if (fd < 0) {
+      continue;
+    }
+    {
+      // Re-check under the lock before handshaking: a dial that raced the
+      // shutdown wake-up must not hold the join for a handshake timeout.
+      std::lock_guard<std::mutex> g(co.mu);
+      if (co.acceptor_stop) {
+        ::close(fd);
+        return;
+      }
+    }
+    auto ch = std::make_unique<Channel>(fd);
+    HelloAckMsg ack;
+    try {
+      // The handshake runs fault-free on a provisional identity; the
+      // session's fault plan reattaches with the channel.
+      WireWriter w;
+      encode_hello(w, make_hello(co, /*worker=*/0xffffffffu, /*session=*/0,
+                                 spec));
+      ch->send(MsgType::kHello, w);
+      Frame f;
+      if (!ch->wait(5'000) || !ch->recv(f) ||
+          f.type != MsgType::kHelloAck) {
+        continue;
+      }
+      WireReader r = f.reader();
+      ack = decode_hello_ack(r);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (!ack.ok || !ack.resume) {
+      continue;  // not a reconnect; drop it
+    }
+    std::lock_guard<std::mutex> g(co.mu);
+    for (const auto& c : co.conns) {
+      if (c->session == ack.session && c->awaiting_reconnect &&
+          c->pending == nullptr) {
+        co.log->line("coordinator: worker %zu re-dialed", c->worker);
+        c->pending = std::move(ch);
+        co.cv.notify_all();
+        break;
+      }
+    }
+    // Unmatched (window expired, bogus token): ch closes on scope exit.
+  }
+}
+
+JournalConfig journal_config_from(const DistExploreOptions& options) {
+  JournalConfig jc;
+  jc.tag = options.journal_tag;
+  jc.max_steps = options.base.max_steps;
+  jc.max_executions = options.base.max_executions;
+  jc.max_crashes = options.base.max_crashes;
+  jc.por = options.base.por;
+  jc.dedupe = options.base.dedupe_states;
+  jc.record_traces = options.base.record_traces;
+  return jc;
+}
+
+// Loads a prior run's journal into the record table: completed regions
+// with completed ancestors are reused verbatim, incomplete ones re-queue
+// from their recorded specs, and descendants of incomplete jobs are
+// tombstoned (their regions re-run with the ancestor).  Reopens the
+// journal for appending.  Single-threaded (runs before any serve thread).
+void load_journal(CoState& co, const DistExploreOptions& options,
+                  JournalWriter& journal) {
+  const JournalContents contents = read_journal(options.journal_path);
+  const JournalConfig expected = journal_config_from(options);
+  if (!(contents.config == expected)) {
+    throw WireError(
+        "journal: " + options.journal_path +
+        " was recorded under a different configuration (tag '" +
+        contents.config.tag + "'); resume with the original world and options");
+  }
+  std::vector<const JournalJob*> alive;
+  std::vector<check::detail::ResumeJob> genealogy;
+  for (const JournalJob& j : contents.jobs) {
+    co.next_id = std::max(co.next_id, j.id + 1);
+    if (j.discarded) {
+      continue;
+    }
+    alive.push_back(&j);
+    genealogy.push_back({j.id, j.has_parent, j.parent, j.done});
+  }
+  const std::vector<check::detail::ResumeAction> plan =
+      check::detail::plan_resume(genealogy);
+
+  journal.append_to(options.journal_path);
+  std::size_t reused = 0;
+  std::size_t rerun = 0;
+  std::size_t discarded = 0;
+  std::unordered_map<std::uint64_t, DistJob*> by_id;
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    const JournalJob& j = *alive[i];
+    if (plan[i] == check::detail::ResumeAction::kDiscard) {
+      journal.job_discarded(j.id);  // tombstone for the NEXT resume
+      ++discarded;
+      continue;
+    }
+    auto rec = std::make_unique<DistJob>();
+    rec->id = j.id;
+    rec->prefix = j.prefix;
+    rec->choices = j.choices;
+    rec->sleep = j.sleep;
+    rec->sleep_inherited = j.sleep_inherited;
+    rec->key = j.prefix;
+    if (!j.choices.empty()) {
+      rec->key.push_back(j.choices[0]);
+    }
+    if (plan[i] == check::detail::ResumeAction::kReuse) {
+      rec->state = DistJob::kDone;
+      rec->result = j.result;
+      rec->live.store(j.result.executions, std::memory_order_relaxed);
+      if (rec->result.violation &&
+          (!co.have_violation || key_less(rec->key, co.violation_key))) {
+        co.have_violation = true;
+        co.violation_key = rec->key;
+      }
+      ++reused;
+    } else {
+      rec->state = DistJob::kPending;
+      ++co.pending;
+      ++rerun;
+    }
+    by_id[rec->id] = rec.get();
+    co.records.push_back(std::move(rec));
+  }
+  // Rebuild the genealogy among survivors so a rerun job that fails AGAIN
+  // cancels its (new) descendants correctly.
+  for (const auto& r : co.records) {
+    // Loaded records never link to discarded parents: a discarded parent
+    // implies a discarded child.
+    for (const JournalJob* j : alive) {
+      if (j->id == r->id && j->has_parent) {
+        const auto it = by_id.find(j->parent);
+        if (it != by_id.end()) {
+          r->parent = it->second;
+          it->second->children.push_back(r.get());
+        }
+        break;
+      }
+    }
+  }
+  co.log->line(
+      "coordinator: resumed %s: %zu reused, %zu re-run, %zu discarded, "
+      "%zu torn byte(s) dropped",
+      options.journal_path.c_str(), reused, rerun, discarded,
+      contents.dropped_tail_bytes);
 }
 
 void reap_children(const std::vector<pid_t>& kids) {
@@ -546,18 +1027,23 @@ std::string log_path_for(const char* name) {
 
 }  // namespace
 
-check::ScheduleExploreResult coordinate(std::vector<int> worker_fds,
-                                        const DistExploreOptions& options,
-                                        const check::CrashWorldSpec* spec) {
+check::ScheduleExploreResult coordinate(
+    std::vector<int> worker_fds, const DistExploreOptions& options,
+    const check::CrashWorldSpec* spec, int reconnect_listen_fd,
+    const std::vector<std::pair<std::string, std::uint16_t>>* endpoints) {
   check::validate(options.base);
   if (worker_fds.empty()) {
     throw std::invalid_argument("dist: coordinate needs at least one worker");
+  }
+  if (options.resume && options.journal_path.empty()) {
+    throw std::invalid_argument("dist: resume needs a journal path");
   }
 
   Log log(log_path_for("coordinator"));
   CoState co;
   co.options = &options;
   co.log = &log;
+  co.listen_fd = options.reconnect_window_ms > 0 ? reconnect_listen_fd : -1;
   co.cap = std::max<std::uint64_t>(options.base.max_executions, 1);
   if (options.time_limit.count() > 0) {
     co.deadline = Clock::now() + options.time_limit;
@@ -574,40 +1060,105 @@ check::ScheduleExploreResult coordinate(std::vector<int> worker_fds,
           check::StateTable::Options{.audit = options.base.dedupe_audit}));
     }
   }
-  {
-    auto seed = std::make_unique<DistJob>();  // the whole tree; empty key
-    co.records.push_back(std::move(seed));
-    co.pending = 1;
-  }
+
+  // Adopt the sockets into Conn channels FIRST: any throw below (a resume
+  // config mismatch, an unreadable journal) then closes them via the
+  // Channel destructors, and the workers see EOF instead of hanging on a
+  // hello that will never come.
+  //
+  // Session tokens: unique within this coordinator's lifetime (and across
+  // quick restarts) so a stale worker cannot hijack another session.
+  const std::uint64_t token_base =
+      (static_cast<std::uint64_t>(::getpid()) << 40) ^
+      static_cast<std::uint64_t>(
+          Clock::now().time_since_epoch().count());
   for (std::size_t i = 0; i < worker_fds.size(); ++i) {
     auto conn = std::make_unique<Conn>();
-    conn->fd = worker_fds[i];
+    conn->ch.adopt(worker_fds[i]);
     conn->worker = i;
+    conn->session = token_base + i + 1;
+    if (endpoints != nullptr && i < endpoints->size()) {
+      conn->host = (*endpoints)[i].first;
+      conn->port = (*endpoints)[i].second;
+    }
+    if (options.coordinator_faults.any()) {
+      conn->faults = derive_fault_plan(options.coordinator_faults, i);
+      conn->ch.set_faults(&conn->faults);
+    }
     co.conns.push_back(std::move(conn));
   }
   co.alive = co.conns.size();
-  log.line("coordinator: %zu worker(s), cap=%llu, dedupe=%d, por=%d",
-           co.conns.size(), static_cast<unsigned long long>(co.cap),
-           options.base.dedupe_states ? 1 : 0, options.base.por ? 1 : 0);
+
+  JournalWriter journal;
+  if (!options.journal_path.empty()) {
+    if (options.resume) {
+      load_journal(co, options, journal);  // throws WireError on mismatch
+    } else {
+      journal.create(options.journal_path, journal_config_from(options));
+    }
+    co.journal = &journal;
+  }
+  if (co.records.empty()) {
+    // Fresh run (or a journal that died before its seed record): one seed
+    // job covering the whole tree, empty key.
+    auto seed = std::make_unique<DistJob>();
+    seed->id = co.next_id++;
+    if (co.journal != nullptr) {
+      journal.job_created(seed->id, false, 0, seed->prefix, seed->choices,
+                          seed->sleep, seed->sleep_inherited);
+    }
+    co.records.push_back(std::move(seed));
+    co.pending = 1;
+  }
+  log.line(
+      "coordinator: %zu worker(s), cap=%llu, dedupe=%d, por=%d, "
+      "heartbeat=%ums/%ums, reconnect=%ums, journal=%s, faults=%s",
+      co.conns.size(), static_cast<unsigned long long>(co.cap),
+      options.base.dedupe_states ? 1 : 0, options.base.por ? 1 : 0,
+      options.heartbeat_interval_ms, options.heartbeat_timeout_ms,
+      options.reconnect_window_ms,
+      options.journal_path.empty() ? "off" : options.journal_path.c_str(),
+      fault_plan_text(options.coordinator_faults).c_str());
 
   {
+    std::thread acceptor;
+    if (co.listen_fd >= 0) {
+      acceptor = std::thread([&co, spec] { acceptor_loop(co, spec); });
+    }
     std::vector<std::thread> pool;
     pool.reserve(co.conns.size());
     for (const auto& conn : co.conns) {
-      pool.emplace_back(
-          [&co, &conn, spec] { serve_worker(co, *conn, spec); });
+      pool.emplace_back([&co, &conn, spec] { serve_worker(co, *conn, spec); });
     }
     for (auto& t : pool) {
       t.join();
     }
+    {
+      std::lock_guard<std::mutex> g(co.mu);
+      co.acceptor_stop = true;
+    }
+    if (acceptor.joinable()) {
+      // Wake the acceptor's poll now rather than letting its accept tick
+      // run out: shutting the listener down makes it report readable, the
+      // pending accept fails, and the loop exits via its listener-gone
+      // path.  The caller owns the fd and closes it after we return.
+      ::shutdown(co.listen_fd, SHUT_RDWR);
+      acceptor.join();
+    }
   }
   for (const auto& conn : co.conns) {
-    ::close(conn->fd);
+    conn->ch.close();
   }
+  journal.close();
 
   std::vector<check::detail::MergeJob> order;
   order.reserve(co.records.size());
+  std::size_t merged_jobs = 0;
   for (const auto& r : co.records) {
+    if (r->cancelled) {
+      continue;  // region re-covered by an ancestor's re-run
+    }
+    ++merged_jobs;
     check::detail::MergeJob j;
     j.key = &r->key;
     switch (r->state) {
@@ -627,7 +1178,7 @@ check::ScheduleExploreResult coordinate(std::vector<int> worker_fds,
   }
   check::ScheduleExploreResult res = check::detail::merge_job_results(
       order, co.cap, options.job_retries + 1, co.unfinished_reason);
-  res.jobs = co.records.size();
+  res.jobs = merged_jobs;
   res.steals = co.steals;
   if (!co.shards.empty()) {
     // The shard sums are the authoritative distinct-state count; workers
@@ -682,19 +1233,26 @@ check::ScheduleExploreResult dist_explore_schedules(
     }
     if (pid == 0) {
       ::close(listen_fd);
+      int code = 1;
       try {
-        const int fd = connect_tcp("127.0.0.1", port);
-        std::string log_path;
+        WorkerOptions wopt;
+        wopt.host = "127.0.0.1";
+        wopt.port = port;
+        wopt.reconnect_window_ms = options.reconnect_window_ms;
+        wopt.seed = i;
         if (log_dir != nullptr) {
-          log_path =
+          wopt.log_path =
               std::string(log_dir) + "/worker-" + std::to_string(i) + ".log";
         }
-        serve_connection(fd, factory, log_path);
+        if (options.worker_faults.any()) {
+          wopt.faults = derive_fault_plan(options.worker_faults, i);
+        }
+        code = run_worker(factory, wopt);
       } catch (...) {
       }
       // _Exit: never run the parent's atexit handlers or static
       // destructors in a forked child.
-      std::_Exit(0);
+      std::_Exit(code);
     }
     kids.push_back(pid);
   }
@@ -707,19 +1265,21 @@ check::ScheduleExploreResult dist_explore_schedules(
     }
     fds.push_back(fd);
   }
-  ::close(listen_fd);
 
+  // The listener stays open for the run: disconnected workers re-dial it
+  // and the coordinator's acceptor thread re-handshakes them.
   check::ScheduleExploreResult res;
   std::exception_ptr failure;
   if (fds.empty()) {
     failure = std::make_exception_ptr(WireError("no worker connected"));
   } else {
     try {
-      res = coordinate(std::move(fds), options, nullptr);
+      res = coordinate(std::move(fds), options, nullptr, listen_fd);
     } catch (...) {
       failure = std::current_exception();
     }
   }
+  ::close(listen_fd);
   reap_children(kids);
   if (failure) {
     std::rethrow_exception(failure);
@@ -735,6 +1295,7 @@ check::ScheduleExploreResult dist_explore_remote(
     throw std::invalid_argument("dist: no worker endpoints");
   }
   std::vector<int> fds;
+  std::vector<std::pair<std::string, std::uint16_t>> addrs;
   try {
     for (const std::string& ep : endpoints) {
       const std::size_t colon = ep.rfind(':');
@@ -747,6 +1308,7 @@ check::ScheduleExploreResult dist_explore_remote(
         throw WireError("endpoint '" + ep + "' has a bad port");
       }
       fds.push_back(connect_tcp(host, static_cast<std::uint16_t>(port)));
+      addrs.emplace_back(host, static_cast<std::uint16_t>(port));
     }
   } catch (...) {
     for (const int fd : fds) {
@@ -754,7 +1316,7 @@ check::ScheduleExploreResult dist_explore_remote(
     }
     throw;
   }
-  return coordinate(std::move(fds), options, &spec);
+  return coordinate(std::move(fds), options, &spec, -1, &addrs);
 }
 
 }  // namespace revisim::dist

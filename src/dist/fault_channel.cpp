@@ -1,0 +1,232 @@
+#include "src/dist/fault_channel.h"
+
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace revisim::dist {
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fault plan item '" + item +
+                                  "' is not key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        plan.seed = std::stoull(value);
+      } else if (key == "drop") {
+        plan.drop_rate = std::stod(value);
+      } else if (key == "dup") {
+        plan.dup_rate = std::stod(value);
+      } else if (key == "delay_rate") {
+        plan.delay_rate = std::stod(value);
+      } else if (key == "delay_ms") {
+        plan.delay_ms = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "stall_at") {
+        plan.stall_at = std::stoull(value);
+      } else if (key == "stall_ms") {
+        plan.stall_ms = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "cut_after") {
+        plan.cut_after = std::stoull(value);
+      } else if (key == "truncate_at") {
+        plan.truncate_at = std::stoull(value);
+      } else if (key == "partition_after") {
+        plan.partition_after = std::stoull(value);
+      } else {
+        throw std::invalid_argument("unknown fault plan key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault plan value '" + value +
+                                  "' for key '" + key + "' is malformed");
+    }
+  }
+  return plan;
+}
+
+std::string fault_plan_text(const FaultPlan& plan) {
+  std::string out;
+  auto add = [&out](const std::string& piece) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += piece;
+  };
+  if (plan.drop_rate > 0) {
+    add("drop=" + std::to_string(plan.drop_rate));
+  }
+  if (plan.dup_rate > 0) {
+    add("dup=" + std::to_string(plan.dup_rate));
+  }
+  if (plan.delay_rate > 0) {
+    add("delay=" + std::to_string(plan.delay_ms) + "ms@" +
+        std::to_string(plan.delay_rate));
+  }
+  if (plan.stall_at != 0) {
+    add("stall_at=" + std::to_string(plan.stall_at) + "x" +
+        std::to_string(plan.stall_ms) + "ms");
+  }
+  if (plan.cut_after != 0) {
+    add("cut_after=" + std::to_string(plan.cut_after));
+  }
+  if (plan.truncate_at != 0) {
+    add("truncate_at=" + std::to_string(plan.truncate_at));
+  }
+  if (plan.partition_after != 0) {
+    add("partition_after=" + std::to_string(plan.partition_after));
+  }
+  return out.empty() ? "none" : out;
+}
+
+FaultPlan derive_fault_plan(const FaultPlan& plan, std::size_t index) {
+  FaultPlan derived = plan;
+  derived.seed = plan.seed + static_cast<std::uint64_t>(index) * 1000003ull;
+  return derived;
+}
+
+Channel::Channel(Channel&& other) noexcept { *this = std::move(other); }
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    faults_ = other.faults_;
+    rng_ = other.rng_;
+    sent_frames_ = other.sent_frames_;
+    send_seq_ = other.send_seq_;
+    recv_seq_ = other.recv_seq_;
+    broken_ = other.broken_;
+    partitioned_ = other.partitioned_;
+    other.fd_ = -1;
+    other.faults_ = nullptr;
+  }
+  return *this;
+}
+
+void Channel::adopt(int fd) {
+  close();
+  fd_ = fd;
+  sent_frames_ = 0;
+  send_seq_ = 0;
+  recv_seq_ = 0;
+  broken_ = false;
+  partitioned_ = false;
+}
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::set_faults(FaultPlan* plan) {
+  faults_ = plan;
+  if (plan != nullptr) {
+    rng_ = plan->seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  }
+}
+
+bool Channel::chance(double p) {
+  if (p <= 0) {
+    return false;
+  }
+  rng_ ^= rng_ << 13;
+  rng_ ^= rng_ >> 7;
+  rng_ ^= rng_ << 17;
+  return static_cast<double>(rng_ >> 11) * 0x1.0p-53 < p;
+}
+
+void Channel::send(MsgType type, const WireWriter& body) {
+  if (fd_ < 0 || broken_) {
+    throw WireError("connection cut by fault injection");
+  }
+  if (faults_ == nullptr || !faults_->any()) {
+    send_frame(fd_, type, body, send_seq_++);
+    ++sent_frames_;
+    return;
+  }
+  ++sent_frames_;
+
+  // Timing faults first: they perturb when, not whether, the bytes land.
+  if (faults_->stall_at != 0 && sent_frames_ == faults_->stall_at) {
+    const std::uint32_t ms = faults_->stall_ms;
+    faults_->stall_at = 0;  // one-shot
+    ::usleep(static_cast<useconds_t>(ms) * 1000);
+  } else if (chance(faults_->delay_rate)) {
+    ::usleep(static_cast<useconds_t>(faults_->delay_ms) * 1000);
+  }
+
+  if (faults_->partition_after != 0 &&
+      sent_frames_ >= faults_->partition_after) {
+    faults_->partition_after = 0;  // disarm for the next connection
+    partitioned_ = true;
+  }
+  if (partitioned_) {
+    ++send_seq_;  // the peer never hears this frame, or any after it
+    return;
+  }
+
+  if (faults_->truncate_at != 0 && sent_frames_ == faults_->truncate_at) {
+    faults_->truncate_at = 0;  // one-shot
+    build_frame(scratch_, type, body, send_seq_++);
+    const std::size_t half = scratch_.size() < 2 ? 1 : scratch_.size() / 2;
+    send_bytes(fd_, scratch_.data(), half);
+    ::shutdown(fd_, SHUT_RDWR);
+    broken_ = true;
+    throw WireError("fault injection: frame truncated mid-send");
+  }
+
+  if (chance(faults_->drop_rate)) {
+    ++send_seq_;  // the gap surfaces at the peer's next recv
+    return;
+  }
+
+  const bool duplicate = chance(faults_->dup_rate);
+  send_frame(fd_, type, body, send_seq_);
+  if (duplicate) {
+    send_frame(fd_, type, body, send_seq_);  // same seq: a true dup
+  }
+  ++send_seq_;
+
+  if (faults_->cut_after != 0 && sent_frames_ >= faults_->cut_after) {
+    faults_->cut_after = 0;  // one-shot
+    ::shutdown(fd_, SHUT_RDWR);
+    broken_ = true;
+  }
+}
+
+bool Channel::recv(Frame& frame) {
+  if (!recv_frame(fd_, frame, recv_seq_)) {
+    return false;
+  }
+  ++recv_seq_;
+  return true;
+}
+
+int Channel::try_recv(Frame& frame) {
+  const int got = try_recv_frame(fd_, frame, recv_seq_);
+  if (got == 1) {
+    ++recv_seq_;
+  }
+  return got;
+}
+
+}  // namespace revisim::dist

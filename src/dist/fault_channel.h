@@ -1,0 +1,134 @@
+// Deterministic network fault injection for the distributed explorer.
+//
+// Channel is the framed-I/O object both endpoints own: a connected socket
+// fd plus the per-direction sequence counters the version-2 wire format
+// carries in every frame header.  Normally it is a thin veneer over
+// send_frame/recv_frame.  Given a FaultPlan it perturbs its OWN send path -
+// drop, duplicate, delay, stall, truncate mid-frame, one-way partition,
+// hard cut - while the receive path stays honest, so a test faults the
+// worker->coordinator direction by handing the worker a plan and the
+// reverse by handing one to the coordinator.
+//
+// Every fault is either detected or survived deterministically:
+//   - drop/duplicate: the sequence number gap/repeat is caught by the
+//     peer's next recv as a WireError, which cuts the connection and hands
+//     recovery to the job re-queue + reconnect machinery.  Heartbeats
+//     guarantee a next frame exists, so a dropped frame can stall the run
+//     for at most one heartbeat interval.
+//   - truncate/cut: the peer sees a mid-frame EOF or crc mismatch.
+//   - one-way partition: the peer hears silence and declares the
+//     connection dead after its heartbeat timeout - the "hung peer"
+//     detector, as opposed to a delay shorter than the timeout, which is
+//     survived in place.
+//   - delay/stall: sleeps before the send; a stall longer than the
+//     heartbeat timeout is indistinguishable from a hang, by design.
+//
+// Rate faults (drop/dup/delay) draw from a seeded xorshift generator and
+// keep firing for the life of the plan.  Positional faults (stall_at,
+// cut_after, truncate_at, partition_after) fire once per PLAN, not per
+// connection: after firing they disarm themselves, so the reconnected
+// session runs clean and the run converges to the fault-free result -
+// which is exactly what the bit-parity fault tests assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dist/wire.h"
+
+namespace revisim::dist {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;  // rate-fault rng seed
+  double drop_rate = 0;    // P(outbound frame silently dropped)
+  double dup_rate = 0;     // P(outbound frame sent twice)
+  double delay_rate = 0;   // P(outbound frame delayed delay_ms)
+  std::uint32_t delay_ms = 0;
+  // Positional one-shot faults, keyed by the channel's 1-based outbound
+  // frame count; 0 = off.  Self-disarming (see above).
+  std::uint64_t stall_at = 0;  // sleep stall_ms before sending frame N
+  std::uint32_t stall_ms = 0;
+  std::uint64_t cut_after = 0;     // send frame N, then shut the socket down
+  std::uint64_t truncate_at = 0;   // send only half of frame N, then shut down
+  std::uint64_t partition_after = 0;  // swallow every send from frame N on
+
+  [[nodiscard]] bool any() const {
+    return drop_rate > 0 || dup_rate > 0 || delay_rate > 0 || stall_at != 0 ||
+           cut_after != 0 || truncate_at != 0 || partition_after != 0;
+  }
+};
+
+// Parses "key=value[,key=value...]" with keys seed, drop, dup, delay_rate,
+// delay_ms, stall_at, stall_ms, cut_after, truncate_at, partition_after.
+// Throws std::invalid_argument on unknown keys or malformed numbers.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+// Log-friendly rendering of the armed faults ("drop=0.02,cut_after=40").
+std::string fault_plan_text(const FaultPlan& plan);
+
+// Re-seeds a plan for worker `index`, so a fleet sharing one spec does not
+// fault in lockstep.
+FaultPlan derive_fault_plan(const FaultPlan& plan, std::size_t index);
+
+// A connected socket plus the v2 framing state (send/recv sequence
+// numbers) and an optional fault plan applied to sends.  Not thread-safe
+// per direction: callers serialize sends among themselves (the coordinator
+// holds a per-connection send mutex) and receive from one thread only.
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(int fd) : fd_(fd) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  // Movable so a handshake performed on a temporary channel (the
+  // coordinator's reconnect acceptor) can be handed to the session's serve
+  // thread WITH its sequence counters - the frames exchanged during the
+  // handshake are part of the connection's sequence space.
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+  ~Channel() { close(); }
+
+  // Points the channel at a (re)connected fd: closes any previous fd and
+  // resets the sequence counters and per-connection fault state.  The
+  // fault plan pointer survives adoption (positional faults that already
+  // fired stay disarmed).
+  void adopt(int fd);
+  void close();
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  // Attaches a fault plan (not owned; may be nullptr).  The plan object is
+  // mutated as positional faults disarm, so sharing one plan across
+  // reconnects gives fire-once semantics.
+  void set_faults(FaultPlan* plan);
+
+  // Sends one frame, applying any armed faults.  Throws WireError if the
+  // socket fails or a previously fired cut/truncate left it dead.
+  void send(MsgType type, const WireWriter& body);
+
+  // Blocking receive; false on clean EOF.  Throws WireError on I/O
+  // failure, crc mismatch, or a sequence gap (the peer's faults showing).
+  bool recv(Frame& frame);
+
+  // Non-blocking variant: 1 = frame, 0 = nothing pending, -1 = EOF.
+  int try_recv(Frame& frame);
+
+  // True when a frame header is ready within timeout_ms.
+  bool wait(int timeout_ms) { return wait_readable(fd_, timeout_ms); }
+
+ private:
+  [[nodiscard]] bool chance(double p);
+
+  int fd_ = -1;
+  FaultPlan* faults_ = nullptr;
+  std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;
+  std::uint64_t sent_frames_ = 0;
+  std::uint32_t send_seq_ = 0;
+  std::uint32_t recv_seq_ = 0;
+  bool broken_ = false;       // cut/truncate fired on this connection
+  bool partitioned_ = false;  // partition fired on this connection
+  std::vector<std::uint8_t> scratch_;  // truncation builds the raw frame here
+};
+
+}  // namespace revisim::dist

@@ -1,13 +1,17 @@
 #include "src/dist/wire.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "src/util/crc32.h"
 
 namespace revisim::dist {
 namespace {
@@ -174,6 +178,9 @@ void encode_hello(WireWriter& w, const HelloMsg& m) {
   w.u32(kWireMagic);
   w.u16(kWireVersion);
   w.u32(m.worker);
+  w.u64(m.session);
+  w.u32(m.heartbeat_interval_ms);
+  w.u32(m.heartbeat_timeout_ms);
   w.u64(m.max_steps);
   w.u64(m.warm_worlds);
   w.u64(m.max_crashes);
@@ -200,6 +207,9 @@ HelloMsg decode_hello(WireReader& r) {
   }
   HelloMsg m;
   m.worker = r.u32();
+  m.session = r.u64();
+  m.heartbeat_interval_ms = r.u32();
+  m.heartbeat_timeout_ms = r.u32();
   m.max_steps = r.u64();
   m.warm_worlds = r.u64();
   m.max_crashes = r.u64();
@@ -222,6 +232,8 @@ void encode_hello_ack(WireWriter& w, const HelloAckMsg& m) {
   w.u16(kWireVersion);
   w.u8(m.ok ? 1 : 0);
   w.str(m.error);
+  w.u8(m.resume ? 1 : 0);
+  w.u64(m.session);
 }
 
 HelloAckMsg decode_hello_ack(WireReader& r) {
@@ -236,6 +248,8 @@ HelloAckMsg decode_hello_ack(WireReader& r) {
   HelloAckMsg m;
   m.ok = r.u8() != 0;
   m.error = r.str();
+  m.resume = r.u8() != 0;
+  m.session = r.u64();
   r.expect_done();
   return m;
 }
@@ -266,9 +280,8 @@ JobMsg decode_job(WireReader& r) {
   return m;
 }
 
-void encode_job_result(WireWriter& w, const JobResultMsg& m) {
-  const check::detail::SubtreeResult& s = m.result;
-  w.u64(m.id);
+void encode_subtree_result(WireWriter& w,
+                           const check::detail::SubtreeResult& s) {
   w.u64(s.executions);
   w.u8(s.fully_explored ? 1 : 0);
   w.u8(s.violation.has_value() ? 1 : 0);
@@ -285,10 +298,8 @@ void encode_job_result(WireWriter& w, const JobResultMsg& m) {
   w.u8(s.dedupe_disabled ? 1 : 0);
 }
 
-JobResultMsg decode_job_result(WireReader& r) {
-  JobResultMsg m;
-  m.id = r.u64();
-  check::detail::SubtreeResult& s = m.result;
+check::detail::SubtreeResult decode_subtree_result(WireReader& r) {
+  check::detail::SubtreeResult s;
   s.executions = static_cast<std::size_t>(r.u64());
   s.fully_explored = r.u8() != 0;
   const bool has_violation = r.u8() != 0;
@@ -306,6 +317,18 @@ JobResultMsg decode_job_result(WireReader& r) {
   s.dependent_wakeups = static_cast<std::size_t>(r.u64());
   s.footprint_bytes = r.u64();
   s.dedupe_disabled = r.u8() != 0;
+  return s;
+}
+
+void encode_job_result(WireWriter& w, const JobResultMsg& m) {
+  w.u64(m.id);
+  encode_subtree_result(w, m.result);
+}
+
+JobResultMsg decode_job_result(WireReader& r) {
+  JobResultMsg m;
+  m.id = r.u64();
+  m.result = decode_subtree_result(r);
   r.expect_done();
   return m;
 }
@@ -399,6 +422,24 @@ FpReplyMsg decode_fp_reply(WireReader& r) {
   return m;
 }
 
+void encode_ping(WireWriter& w, const PingMsg& m) { w.u64(m.nonce); }
+
+PingMsg decode_ping(WireReader& r) {
+  PingMsg m;
+  m.nonce = r.u64();
+  r.expect_done();
+  return m;
+}
+
+void encode_pong(WireWriter& w, const PongMsg& m) { w.u64(m.nonce); }
+
+PongMsg decode_pong(WireReader& r) {
+  PongMsg m;
+  m.nonce = r.u64();
+  r.expect_done();
+  return m;
+}
+
 // --- framing -----------------------------------------------------------------
 
 namespace {
@@ -439,48 +480,103 @@ bool recv_all(int fd, std::uint8_t* data, std::size_t n, bool eof_ok) {
   return true;
 }
 
-bool recv_frame_body(int fd, Frame& frame, const std::uint8_t header[5]) {
+// Reads the payload after a complete 13-byte header, then verifies the crc
+// (over type + seq bytes + payload) and the per-direction sequence number.
+void recv_frame_body(int fd, Frame& frame,
+                     const std::uint8_t header[kFrameHeaderBytes],
+                     std::uint32_t expected_seq) {
   std::uint32_t len = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t crc = 0;
   for (int i = 0; i < 4; ++i) {
     len |= std::uint32_t{header[i]} << (8 * i);
+    seq |= std::uint32_t{header[5 + i]} << (8 * i);
+    crc |= std::uint32_t{header[9 + i]} << (8 * i);
   }
   if (len > kMaxFrameBytes) {
     throw WireError("oversized frame (" + std::to_string(len) + " bytes)");
   }
   frame.type = static_cast<MsgType>(header[4]);
+  frame.seq = seq;
   frame.payload.resize(len);
   if (len > 0) {
     recv_all(fd, frame.payload.data(), len, /*eof_ok=*/false);
   }
-  return true;
+  std::uint32_t want = util::crc32(0, header + 4, 5);
+  want = util::crc32(want, frame.payload.data(), frame.payload.size());
+  if (want != crc) {
+    throw WireError("frame crc mismatch (corrupted stream)");
+  }
+  if (seq != expected_seq) {
+    throw WireError("frame sequence " + std::to_string(seq) + ", expected " +
+                    std::to_string(expected_seq) +
+                    " (dropped or duplicated frame)");
+  }
 }
 
 }  // namespace
 
-void send_frame(int fd, MsgType type, const WireWriter& body) {
+void build_frame(std::vector<std::uint8_t>& out, MsgType type,
+                 const WireWriter& body, std::uint32_t seq) {
   if (body.size() > kMaxFrameBytes) {
     throw WireError("frame payload too large");
   }
-  std::uint8_t header[5];
+  out.clear();
+  out.reserve(kFrameHeaderBytes + body.size());
+  const auto len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.push_back(static_cast<std::uint8_t>(type));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+  }
+  std::uint32_t crc = util::crc32(0, out.data() + 4, 5);
+  crc = util::crc32(crc, body.data(), body.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  out.insert(out.end(), body.data(), body.data() + body.size());
+}
+
+void send_bytes(int fd, const std::uint8_t* data, std::size_t n) {
+  send_all(fd, data, n);
+}
+
+void send_frame(int fd, MsgType type, const WireWriter& body,
+                std::uint32_t seq) {
+  if (body.size() > kMaxFrameBytes) {
+    throw WireError("frame payload too large");
+  }
+  std::uint8_t header[kFrameHeaderBytes];
   const auto len = static_cast<std::uint32_t>(body.size());
   for (int i = 0; i < 4; ++i) {
     header[i] = static_cast<std::uint8_t>(len >> (8 * i));
   }
   header[4] = static_cast<std::uint8_t>(type);
+  for (int i = 0; i < 4; ++i) {
+    header[5 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  std::uint32_t crc = util::crc32(0, header + 4, 5);
+  crc = util::crc32(crc, body.data(), body.size());
+  for (int i = 0; i < 4; ++i) {
+    header[9 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
   send_all(fd, header, sizeof header);
   send_all(fd, body.data(), body.size());
 }
 
-bool recv_frame(int fd, Frame& frame) {
-  std::uint8_t header[5];
+bool recv_frame(int fd, Frame& frame, std::uint32_t expected_seq) {
+  std::uint8_t header[kFrameHeaderBytes];
   if (!recv_all(fd, header, sizeof header, /*eof_ok=*/true)) {
     return false;
   }
-  return recv_frame_body(fd, frame, header);
+  recv_frame_body(fd, frame, header, expected_seq);
+  return true;
 }
 
-int try_recv_frame(int fd, Frame& frame) {
-  std::uint8_t header[5];
+int try_recv_frame(int fd, Frame& frame, std::uint32_t expected_seq) {
+  std::uint8_t header[kFrameHeaderBytes];
   std::size_t got = 0;
   // First probe non-blockingly; once any header byte arrives the peer has
   // committed to a frame, so finishing the read blockingly cannot stall
@@ -505,7 +601,7 @@ int try_recv_frame(int fd, Frame& frame) {
     }
     got += static_cast<std::size_t>(r);
   }
-  recv_frame_body(fd, frame, header);
+  recv_frame_body(fd, frame, header, expected_seq);
   return 1;
 }
 
@@ -513,10 +609,23 @@ bool wait_readable(int fd, int timeout_ms) {
   struct pollfd pfd {};
   pfd.fd = fd;
   pfd.events = POLLIN;
+  // EINTR must resume with the REMAINING time, not the full timeout: under
+  // a signal storm (profilers, sanitizer timers) restarting the full poll
+  // would extend the wait unboundedly.
+  using Clock = std::chrono::steady_clock;
+  const bool forever = timeout_ms < 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(forever ? 0 : timeout_ms);
+  int remaining = timeout_ms;
   for (;;) {
-    const int r = ::poll(&pfd, 1, timeout_ms);
+    const int r = ::poll(&pfd, 1, remaining);
     if (r < 0) {
       if (errno == EINTR) {
+        if (!forever) {
+          const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - Clock::now());
+          remaining = static_cast<int>(std::max<long long>(left.count(), 0));
+        }
         continue;
       }
       throw WireError(errno_text("poll"));
@@ -574,17 +683,33 @@ int accept_tcp(int listen_fd, int timeout_ms) {
   }
 }
 
-int connect_tcp(const std::string& host, std::uint16_t port) {
+int connect_tcp(const std::string& host, std::uint16_t port,
+                std::chrono::milliseconds deadline,
+                std::uint64_t jitter_seed) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     throw WireError("connect_tcp: bad host address " + host);
   }
-  // Retry briefly: a freshly forked worker can race the coordinator's
-  // listen(), and cluster workers may restart between runs.
-  std::string last_err;
-  for (int attempt = 0; attempt < 50; ++attempt) {
+  // Jittered exponential backoff under a caller-supplied deadline: a
+  // freshly forked worker can race the coordinator's listen(), and a
+  // reconnecting fleet must not re-dial in lockstep (the jitter seed
+  // de-synchronizes workers that lost the coordinator at the same instant).
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point give_up = Clock::now() + deadline;
+  std::uint64_t rng = jitter_seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  auto next_jitter = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  std::string last_err = "unreachable";
+  int attempts = 0;
+  std::uint64_t backoff_us = 2'000;  // 2ms, doubling to a 200ms ceiling
+  for (;;) {
+    ++attempts;
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       throw WireError(errno_text("socket"));
@@ -596,10 +721,25 @@ int connect_tcp(const std::string& host, std::uint16_t port) {
     }
     last_err = errno_text("connect");
     ::close(fd);
-    ::usleep(100 * 1000);
+    if (Clock::now() >= give_up) {
+      break;
+    }
+    // Sleep backoff/2 .. backoff, capped so the final attempt lands near
+    // the deadline instead of overshooting it by a whole backoff step.
+    std::uint64_t sleep_us = backoff_us / 2 + next_jitter() % (backoff_us / 2 + 1);
+    const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+        give_up - Clock::now());
+    sleep_us = std::min<std::uint64_t>(
+        sleep_us, static_cast<std::uint64_t>(std::max<long long>(left.count(), 0)));
+    if (sleep_us > 0) {
+      ::usleep(static_cast<useconds_t>(sleep_us));
+    }
+    backoff_us = std::min<std::uint64_t>(backoff_us * 2, 200'000);
   }
-  throw WireError("connect_tcp " + host + ":" + std::to_string(port) + ": " +
-                  last_err);
+  throw WireError("connect_tcp " + host + ":" + std::to_string(port) +
+                  " failed after " + std::to_string(attempts) +
+                  " attempt(s) over " + std::to_string(deadline.count()) +
+                  " ms: " + last_err);
 }
 
 }  // namespace revisim::dist

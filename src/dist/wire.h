@@ -7,7 +7,7 @@
 // warm worlds (the worker re-replays the prefix into its own checkpoint
 // pool) - so the encoding below is a straight transcription.
 //
-// Encoding rules, version 1:
+// Encoding rules, version 2:
 //   - All integers are fixed-width little-endian, written byte by byte
 //     (shift/mask), so the format is identical across host endianness and
 //     word size.
@@ -18,16 +18,26 @@
 //     rejects pids that do not fit the host ProcessId.
 //   - Sequences are u32 count + items; strings are u32 length + raw bytes.
 //   - Fingerprints are hi u64 + lo u64.
-//   - A frame is [u32 payload length][u8 message type][payload]; payloads
-//     above kMaxFrameBytes are rejected as corruption.
+//   - A frame is [u32 payload length][u8 message type][u32 sequence]
+//     [u32 crc][payload].  The sequence number counts frames per direction
+//     from 0; the crc is CRC-32 over type + sequence + payload.  A crc
+//     mismatch means a corrupted stream; a sequence mismatch means a frame
+//     was dropped or duplicated in between.  Either is a WireError: the
+//     receiver cuts the connection and recovery happens one level up
+//     (job re-queue on the coordinator, reconnect on the worker) - there is
+//     deliberately no retransmission layer, because the job protocol is
+//     already idempotent under connection loss.  Payloads above
+//     kMaxFrameBytes are rejected as corruption.
 //
 // Message catalogue (direction, payload):
-//   kHello      C->W  magic, version, worker index, exploration options,
+//   kHello      C->W  magic, version, worker index, session token,
+//                     heartbeat interval/timeout, exploration options,
 //                     registry world spec (empty world name = the worker
 //                     was forked from the coordinator and already owns the
 //                     factory), live-counter interval
 //   kHelloAck   W->C  magic, version, ok flag + error text (unknown world,
-//                     version skew)
+//                     version skew), resume flag + session token (a
+//                     reconnecting worker echoes its prior session)
 //   kJob        C->W  job id, execution budget, fault_after (test
 //                     instrumentation), prefix, choices, sleep pids
 //   kJobResult  W->C  job id + the full SubtreeResult summary
@@ -43,8 +53,12 @@
 //                     first local sighting, forwarded to the shard service
 //   kFpReply    C->W  was_new flag (claim-then-walk verdict)
 //   kShutdown   C->W  empty; the run is over
+//   kPing       both  liveness probe with an echo nonce; legal at any
+//                     protocol point, answered with kPong
+//   kPong       both  echo of a kPing nonce
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -62,8 +76,10 @@ class WireError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x4d535652u;  // "RVSM"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kMaxFrameBytes = std::size_t{64} << 20;
+// [u32 len][u8 type][u32 seq][u32 crc]
+inline constexpr std::size_t kFrameHeaderBytes = 13;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,
@@ -78,6 +94,8 @@ enum class MsgType : std::uint8_t {
   kFpInsert = 10,
   kFpReply = 11,
   kShutdown = 12,
+  kPing = 13,
+  kPong = 14,
 };
 
 // --- schedule entries --------------------------------------------------------
@@ -144,6 +162,13 @@ class WireReader {
 
 struct HelloMsg {
   std::uint32_t worker = 0;  // index assigned by the coordinator
+  // Session token assigned by the coordinator; a worker that reconnects
+  // echoes its prior token in HelloAck to resume the session.
+  std::uint64_t session = 0;
+  // Liveness layer: ping every interval, declare the peer dead after
+  // timeout of silence.  interval 0 = heartbeats off.
+  std::uint32_t heartbeat_interval_ms = 0;
+  std::uint32_t heartbeat_timeout_ms = 0;
   // Exploration options shipped once per connection; the per-job execution
   // budget rides on each kJob instead (it depends on the cap bound).
   std::uint64_t max_steps = 64;
@@ -166,6 +191,10 @@ struct HelloMsg {
 struct HelloAckMsg {
   bool ok = true;
   std::string error;
+  // resume: this connection re-handshakes an existing session; `session`
+  // then carries the prior token (otherwise it echoes hello.session).
+  bool resume = false;
+  std::uint64_t session = 0;
 };
 
 struct JobMsg {
@@ -219,6 +248,22 @@ struct FpReplyMsg {
   bool was_new = false;
 };
 
+struct PingMsg {
+  std::uint64_t nonce = 0;
+};
+
+struct PongMsg {
+  std::uint64_t nonce = 0;
+};
+
+// The SubtreeResult transcription shared by kJobResult and the run
+// journal's job-done records (src/dist/journal.h).  decode does not call
+// expect_done: callers may follow with their own fields.
+void encode_subtree_result(WireWriter& w,
+                           const check::detail::SubtreeResult& s);
+[[nodiscard]] check::detail::SubtreeResult decode_subtree_result(
+    WireReader& r);
+
 void encode_hello(WireWriter& w, const HelloMsg& m);
 [[nodiscard]] HelloMsg decode_hello(WireReader& r);
 void encode_hello_ack(WireWriter& w, const HelloAckMsg& m);
@@ -239,11 +284,16 @@ void encode_fp_insert(WireWriter& w, const FpInsertMsg& m);
 [[nodiscard]] FpInsertMsg decode_fp_insert(WireReader& r);
 void encode_fp_reply(WireWriter& w, const FpReplyMsg& m);
 [[nodiscard]] FpReplyMsg decode_fp_reply(WireReader& r);
+void encode_ping(WireWriter& w, const PingMsg& m);
+[[nodiscard]] PingMsg decode_ping(WireReader& r);
+void encode_pong(WireWriter& w, const PongMsg& m);
+[[nodiscard]] PongMsg decode_pong(WireReader& r);
 
 // --- framing over a connected socket ----------------------------------------
 
 struct Frame {
   MsgType type{};
+  std::uint32_t seq = 0;
   std::vector<std::uint8_t> payload;  // reused across recv_frame calls
 
   [[nodiscard]] WireReader reader() const {
@@ -251,20 +301,36 @@ struct Frame {
   }
 };
 
-// Writes [len][type][payload] with MSG_NOSIGNAL; throws WireError on I/O
-// failure (a dead peer surfaces as an error, never a SIGPIPE).
-void send_frame(int fd, MsgType type, const WireWriter& body);
+// Serializes one complete frame (header + payload) into `out` (cleared
+// first).  Exposed so the fault-injection channel can mutate the byte
+// stream below the framing layer; send_frame is build + send.
+void build_frame(std::vector<std::uint8_t>& out, MsgType type,
+                 const WireWriter& body, std::uint32_t seq);
+
+// Writes raw bytes with MSG_NOSIGNAL; throws WireError on I/O failure (a
+// dead peer surfaces as an error, never a SIGPIPE).
+void send_bytes(int fd, const std::uint8_t* data, std::size_t n);
+
+// Writes one frame carrying the given per-direction sequence number.
+// Callers own the counter (see fault_channel.h's Channel, which wraps fd +
+// both counters); throws WireError on I/O failure.
+void send_frame(int fd, MsgType type, const WireWriter& body,
+                std::uint32_t seq);
 
 // Blocking receive.  Returns false on clean EOF at a frame boundary; throws
-// WireError on I/O failure, truncated frames, or oversized payloads.
-bool recv_frame(int fd, Frame& frame);
+// WireError on I/O failure, truncated frames, oversized payloads, crc
+// mismatch, or a sequence number other than `expected_seq` (a dropped or
+// duplicated frame in between).
+bool recv_frame(int fd, Frame& frame, std::uint32_t expected_seq);
 
 // Non-blocking poll-then-receive: 1 = frame received, 0 = nothing pending,
-// -1 = EOF.  Once a frame header is visible the rest is read blockingly
-// (the peer has committed to sending it).
-int try_recv_frame(int fd, Frame& frame);
+// -1 = EOF.  Once a frame header byte is visible the rest is read
+// blockingly (the peer has committed to sending it).
+int try_recv_frame(int fd, Frame& frame, std::uint32_t expected_seq);
 
 // Blocks until fd is readable or `timeout_ms` expires; true = readable.
+// EINTR restarts the poll with the REMAINING time (monotonic deadline), so
+// a signal storm cannot extend the timeout.  Negative timeout = forever.
 bool wait_readable(int fd, int timeout_ms);
 
 // --- minimal TCP helpers -----------------------------------------------------
@@ -274,8 +340,15 @@ bool wait_readable(int fd, int timeout_ms);
 int listen_tcp(const std::string& host, std::uint16_t& port);
 // Accepts one connection; -1 on timeout.  Throws WireError on failure.
 int accept_tcp(int listen_fd, int timeout_ms);
-// Connects to host:port (retrying briefly while the listener comes up).
-// Throws WireError on failure.
-int connect_tcp(const std::string& host, std::uint16_t port);
+// Connects to host:port, retrying with jittered exponential backoff until
+// `deadline` elapses (a freshly forked worker can race the coordinator's
+// listen(), and reconnecting workers dial a coordinator that may take a
+// moment to come back).  `jitter_seed` perturbs the backoff so a fleet of
+// workers does not reconnect in lockstep.  Throws WireError naming the
+// attempt count and the last errno on failure.
+int connect_tcp(const std::string& host, std::uint16_t port,
+                std::chrono::milliseconds deadline =
+                    std::chrono::milliseconds(5000),
+                std::uint64_t jitter_seed = 0);
 
 }  // namespace revisim::dist

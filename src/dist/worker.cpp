@@ -1,6 +1,8 @@
 #include "src/dist/worker.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +20,7 @@ namespace revisim::dist {
 namespace {
 
 using check::ExplorableWorld;
+using Clock = std::chrono::steady_clock;
 using runtime::ProcessId;
 
 class Log {
@@ -48,15 +51,23 @@ class Log {
   std::FILE* file_ = nullptr;
 };
 
-// One coordinator connection: the socket, the reused serialization buffers,
-// and the control flags the message pump feeds into the running job.
+// One coordinator session: the channel (socket + framing state), the reused
+// serialization buffers, and the control flags the message pump feeds into
+// the running job.  The session OUTLIVES individual connections: run_worker
+// re-dials on loss and the warm pool, dedupe cache, session token and
+// one-shot fault state all carry over.
 struct Session {
-  int fd = -1;
-  WireWriter out;  // one buffer per connection; cleared per message
+  Channel ch;
+  WireWriter out;  // one buffer per session; cleared per message
   Frame in;        // receive buffer, likewise reused
   Log* log = nullptr;
+  FaultPlan faults;  // outbound plan storage; ch points here when armed
 
-  HelloMsg hello;
+  HelloMsg hello;           // options from the FIRST hello of the session
+  bool have_hello = false;  // a later hello is a reconnect re-handshake
+  std::uint64_t token = 0;  // session token echoed on reconnect
+  Clock::time_point last_heard{};
+
   std::uint64_t job_id = 0;
   std::atomic<std::uint64_t> live{0};    // executions of the current job
   std::atomic<std::uint64_t> budget{0};  // shrunk by kCredit messages
@@ -64,6 +75,28 @@ struct Session {
   bool steal_wanted = false;             // kStealReq pending, cleared on donate
   bool shutdown = false;
 };
+
+// Coordinator silence past the heartbeat timeout means the connection is
+// dead even though the socket looks healthy (hang, one-way partition).
+void check_liveness(Session& s) {
+  if (s.hello.heartbeat_interval_ms == 0) {
+    return;
+  }
+  const auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - s.last_heard);
+  if (silent.count() >= s.hello.heartbeat_timeout_ms) {
+    throw WireError("heartbeat timeout: coordinator silent for " +
+                    std::to_string(silent.count()) + "ms");
+  }
+}
+
+// Poll granularity while waiting on the socket with heartbeats armed:
+// fine enough to notice a timeout promptly, coarse enough not to spin.
+int liveness_tick_ms(const Session& s) {
+  const std::uint32_t hb = s.hello.heartbeat_interval_ms;
+  return static_cast<int>(std::min<std::uint32_t>(
+      std::max<std::uint32_t>(hb / 2, 10), 200));
+}
 
 // Handles one control frame; every frame type a worker can legally receive
 // outside the job/fp handshakes.  Returns false for frame types the caller
@@ -85,6 +118,18 @@ bool handle_control(Session& s, const Frame& f) {
     case MsgType::kStealReq:
       s.steal_wanted = true;
       return true;
+    case MsgType::kPing: {
+      WireReader r = f.reader();
+      const PingMsg ping = decode_ping(r);
+      PongMsg pong;
+      pong.nonce = ping.nonce;
+      s.out.clear();
+      encode_pong(s.out, pong);
+      s.ch.send(MsgType::kPong, s.out);
+      return true;
+    }
+    case MsgType::kPong:
+      return true;  // liveness bookkeeping happened at recv
     case MsgType::kShutdown:
       s.shutdown = true;
       s.abort_job = true;
@@ -94,22 +139,25 @@ bool handle_control(Session& s, const Frame& f) {
   }
 }
 
-// Drains every frame already queued on the socket without blocking.
+// Drains every frame already queued on the socket without blocking, then
+// checks the coordinator's liveness deadline.
 void pump(Session& s) {
   for (;;) {
-    const int got = try_recv_frame(s.fd, s.in);
+    const int got = s.ch.try_recv(s.in);
     if (got == 0) {
-      return;
+      break;
     }
     if (got < 0) {
       throw WireError("coordinator closed the connection");
     }
+    s.last_heard = Clock::now();
     if (!handle_control(s, s.in)) {
       throw WireError("unexpected frame type " +
                       std::to_string(static_cast<int>(s.in.type)) +
                       " during a job");
     }
   }
+  check_liveness(s);
 }
 
 // Worker-side visited-state store: a local StateTable caches every answer
@@ -125,6 +173,7 @@ class RemoteStateStore final : public check::StateStore {
 
   bool insert(util::Fingerprint fp,
               const std::function<std::string()>& canonical = {}) override {
+    Session& s = session_;
     if (!local_.insert(fp)) {
       ++hits_;
       return false;
@@ -135,24 +184,30 @@ class RemoteStateStore final : public check::StateStore {
       msg.has_canonical = true;
       msg.canonical = canonical();
     }
-    session_.out.clear();
-    encode_fp_insert(session_.out, msg);
-    send_frame(session_.fd, MsgType::kFpInsert, session_.out);
+    s.out.clear();
+    encode_fp_insert(s.out, msg);
+    s.ch.send(MsgType::kFpInsert, s.out);
     for (;;) {
-      if (!recv_frame(session_.fd, session_.in)) {
+      if (s.hello.heartbeat_interval_ms != 0 &&
+          !s.ch.wait(liveness_tick_ms(s))) {
+        check_liveness(s);
+        continue;
+      }
+      if (!s.ch.recv(s.in)) {
         throw WireError("coordinator closed the connection (fp wait)");
       }
-      if (session_.in.type == MsgType::kFpReply) {
-        WireReader r = session_.in.reader();
+      s.last_heard = Clock::now();
+      if (s.in.type == MsgType::kFpReply) {
+        WireReader r = s.in.reader();
         const FpReplyMsg reply = decode_fp_reply(r);
         if (!reply.was_new) {
           ++hits_;
         }
         return reply.was_new;
       }
-      if (!handle_control(session_, session_.in)) {
+      if (!handle_control(s, s.in)) {
         throw WireError("unexpected frame type " +
-                        std::to_string(static_cast<int>(session_.in.type)) +
+                        std::to_string(static_cast<int>(s.in.type)) +
                         " while awaiting fp reply");
       }
     }
@@ -215,7 +270,7 @@ void run_job(Session& s, const JobMsg& job,
     msg.sleep_inherited = static_cast<std::uint32_t>(d.sleep_inherited);
     s.out.clear();
     encode_donate(s.out, msg);
-    send_frame(s.fd, MsgType::kDonate, s.out);
+    s.ch.send(MsgType::kDonate, s.out);
     s.steal_wanted = false;  // one donation per request
     s.log->line("worker %u: donated prefix=%zu choices=%zu (job %llu)",
                 s.hello.worker, msg.prefix.size(), msg.choices.size(),
@@ -248,7 +303,7 @@ void run_job(Session& s, const JobMsg& job,
       live.executions = n;
       s.out.clear();
       encode_live(s.out, live);
-      send_frame(s.fd, MsgType::kLive, s.out);
+      s.ch.send(MsgType::kLive, s.out);
       last_reported = n;
     }
     if (s.abort_job) {
@@ -265,7 +320,7 @@ void run_job(Session& s, const JobMsg& job,
     msg.result = std::move(result);
     s.out.clear();
     encode_job_result(s.out, msg);
-    send_frame(s.fd, MsgType::kJobResult, s.out);
+    s.ch.send(MsgType::kJobResult, s.out);
     s.log->line("worker %u: job %llu done, %zu executions", s.hello.worker,
                 static_cast<unsigned long long>(job.id),
                 msg.result.executions);
@@ -277,33 +332,48 @@ void run_job(Session& s, const JobMsg& job,
     msg.message = e.what();
     s.out.clear();
     encode_job_error(s.out, msg);
-    send_frame(s.fd, MsgType::kJobError, s.out);
+    s.ch.send(MsgType::kJobError, s.out);
     s.log->line("worker %u: job %llu failed: %s", s.hello.worker,
                 static_cast<unsigned long long>(job.id), e.what());
   }
 }
 
-}  // namespace
-
-void serve_connection(
-    int fd,
+// Handshake + serve loop for one (re)connection of a session.  The first
+// connection's hello fixes the session options and builds the factory,
+// warm pool and dedupe store; a reconnect re-handshakes (HelloAck.resume
+// echoing the prior token) and reuses them all.  Returns true on a clean
+// end: kShutdown, a rejected hello, or - when `eof_is_clean` - EOF while
+// idle.  Throws WireError when the connection is lost.
+bool serve_session(
+    Session& s,
     const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
-    const std::string& log_path) {
-  Log log(log_path);
-  Session s;
-  s.fd = fd;
-  s.log = &log;
-  try {
-    if (!recv_frame(fd, s.in) || s.in.type != MsgType::kHello) {
-      throw WireError("expected hello");
-    }
-    {
-      WireReader r = s.in.reader();
-      s.hello = decode_hello(r);
-    }
+    std::function<std::unique_ptr<ExplorableWorld>()>& make,
+    std::unique_ptr<check::detail::WarmPool>& pool,
+    std::unique_ptr<RemoteStateStore>& store, bool eof_is_clean) {
+  if (!s.ch.recv(s.in) || s.in.type != MsgType::kHello) {
+    throw WireError("expected hello");
+  }
+  s.last_heard = Clock::now();
+  HelloMsg hello;
+  {
+    WireReader r = s.in.reader();
+    hello = decode_hello(r);
+  }
 
-    std::function<std::unique_ptr<ExplorableWorld>()> make = factory;
-    HelloAckMsg ack;
+  HelloAckMsg ack;
+  if (s.have_hello) {
+    // Reconnect: the coordinator's hello is provisional; answer with the
+    // prior session token so the acceptor can route this socket back to
+    // our serve thread.  Session options stay as first negotiated.
+    ack.resume = true;
+    ack.session = s.token;
+  } else {
+    s.hello = hello;
+    s.token = hello.session;
+    ack.session = hello.session;
+    if (make == nullptr) {
+      make = factory;
+    }
     if (make == nullptr) {
       if (s.hello.world.empty()) {
         ack.ok = false;
@@ -322,60 +392,163 @@ void serve_connection(
         }
       }
     }
-    s.out.clear();
-    encode_hello_ack(s.out, ack);
-    send_frame(fd, MsgType::kHelloAck, s.out);
-    if (!ack.ok) {
-      log.line("worker %u: rejected hello: %s", s.hello.worker,
-               ack.error.c_str());
-      ::close(fd);
-      return;
-    }
-    log.line("worker %u: serving (world=%s dedupe=%d por=%d crashes=%llu)",
-             s.hello.worker,
-             s.hello.world.empty() ? "<local factory>" : s.hello.world.c_str(),
-             s.hello.dedupe_states ? 1 : 0, s.hello.por ? 1 : 0,
-             static_cast<unsigned long long>(s.hello.max_crashes));
-
-    // The warm pool and the dedupe cache persist across jobs on this
-    // connection, like a parallel-explorer worker's do across claims.
-    check::detail::WarmPool pool(static_cast<std::size_t>(s.hello.warm_worlds),
-                                 /*adaptive=*/true,
-                                 static_cast<std::size_t>(s.hello.warm_worlds));
-    std::unique_ptr<RemoteStateStore> store;
+  }
+  s.out.clear();
+  encode_hello_ack(s.out, ack);
+  s.ch.send(MsgType::kHelloAck, s.out);
+  if (!ack.ok) {
+    s.log->line("worker %u: rejected hello: %s", s.hello.worker,
+                ack.error.c_str());
+    return true;
+  }
+  if (!s.have_hello) {
+    s.have_hello = true;
+    s.log->line(
+        "worker %u: serving (world=%s dedupe=%d por=%d crashes=%llu "
+        "heartbeat=%ums)",
+        s.hello.worker,
+        s.hello.world.empty() ? "<local factory>" : s.hello.world.c_str(),
+        s.hello.dedupe_states ? 1 : 0, s.hello.por ? 1 : 0,
+        static_cast<unsigned long long>(s.hello.max_crashes),
+        s.hello.heartbeat_interval_ms);
+    // The warm pool and the dedupe cache persist across jobs (and across
+    // reconnects), like a parallel-explorer worker's do across claims.
+    pool = std::make_unique<check::detail::WarmPool>(
+        static_cast<std::size_t>(s.hello.warm_worlds),
+        /*adaptive=*/true, static_cast<std::size_t>(s.hello.warm_worlds));
     if (s.hello.dedupe_states) {
       store = std::make_unique<RemoteStateStore>(s);
     }
+  } else {
+    s.log->line("worker %u: session resumed", s.hello.worker);
+  }
 
-    while (!s.shutdown) {
-      if (!recv_frame(fd, s.in)) {
-        break;  // coordinator gone; nothing left to serve
-      }
-      if (handle_control(s, s.in)) {
+  while (!s.shutdown) {
+    if (s.hello.heartbeat_interval_ms != 0) {
+      if (!s.ch.wait(liveness_tick_ms(s))) {
+        check_liveness(s);
         continue;
       }
-      if (s.in.type != MsgType::kJob) {
-        throw WireError("unexpected frame type " +
-                        std::to_string(static_cast<int>(s.in.type)) +
-                        " between jobs");
-      }
-      JobMsg job;
-      {
-        WireReader r = s.in.reader();
-        job = decode_job(r);
-      }
-      s.steal_wanted = false;  // requests for a previous job are stale
-      run_job(s, job, make, pool, store.get());
     }
-    log.line("worker %u: shutdown", s.hello.worker);
+    if (!s.ch.recv(s.in)) {
+      if (eof_is_clean) {
+        break;  // coordinator gone; nothing left to serve
+      }
+      throw WireError("coordinator closed the connection");
+    }
+    s.last_heard = Clock::now();
+    if (handle_control(s, s.in)) {
+      continue;
+    }
+    if (s.in.type != MsgType::kJob) {
+      throw WireError("unexpected frame type " +
+                      std::to_string(static_cast<int>(s.in.type)) +
+                      " between jobs");
+    }
+    JobMsg job;
+    {
+      WireReader r = s.in.reader();
+      job = decode_job(r);
+    }
+    s.steal_wanted = false;  // requests for a previous job are stale
+    run_job(s, job, make, *pool, store.get());
+  }
+  if (s.shutdown) {
+    s.log->line("worker %u: shutdown", s.hello.worker);
+  }
+  return true;
+}
+
+}  // namespace
+
+void serve_connection(
+    int fd,
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const std::string& log_path, const FaultPlan& faults) {
+  Log log(log_path);
+  Session s;
+  s.log = &log;
+  s.faults = faults;
+  s.ch.adopt(fd);
+  if (s.faults.any()) {
+    s.ch.set_faults(&s.faults);
+  }
+  std::function<std::unique_ptr<ExplorableWorld>()> make;
+  std::unique_ptr<check::detail::WarmPool> pool;
+  std::unique_ptr<RemoteStateStore> store;
+  try {
+    serve_session(s, factory, make, pool, store, /*eof_is_clean=*/true);
   } catch (const std::exception& e) {
     log.line("worker %u: connection error: %s", s.hello.worker, e.what());
   }
-  ::close(fd);
+}
+
+int run_worker(
+    const std::function<std::unique_ptr<ExplorableWorld>()>& factory,
+    const WorkerOptions& options) {
+  Log log(options.log_path);
+  Session s;
+  s.log = &log;
+  s.faults = options.faults;
+  std::function<std::unique_ptr<ExplorableWorld>()> make;
+  std::unique_ptr<check::detail::WarmPool> pool;
+  std::unique_ptr<RemoteStateStore> store;
+
+  try {
+    s.ch.adopt(connect_tcp(options.host, options.port,
+                           std::chrono::milliseconds(10'000), options.seed));
+  } catch (const std::exception& e) {
+    log.line("worker: initial dial failed: %s", e.what());
+    return 1;
+  }
+  if (s.faults.any()) {
+    s.ch.set_faults(&s.faults);
+  }
+
+  for (;;) {
+    try {
+      // EOF while idle is clean only when reconnect is off; with it on, an
+      // idle EOF is the coordinator cutting a dead connection and the
+      // session should re-dial (the run may still be live).
+      serve_session(s, factory, make, pool, store,
+                    /*eof_is_clean=*/options.reconnect_window_ms == 0);
+      return 0;
+    } catch (const std::exception& e) {
+      if (s.shutdown || options.reconnect_window_ms == 0) {
+        log.line("worker %u: connection error: %s", s.hello.worker, e.what());
+        return s.shutdown ? 0 : 1;
+      }
+      log.line("worker %u: connection lost (%s); re-dialing", s.hello.worker,
+               e.what());
+    }
+    try {
+      const int fd = connect_tcp(
+          options.host, options.port,
+          std::chrono::milliseconds(options.reconnect_window_ms),
+          options.seed);
+      s.ch.adopt(fd);
+      if (s.faults.any()) {
+        s.ch.set_faults(&s.faults);
+      }
+    } catch (const std::exception& e) {
+      log.line("worker %u: gave up reconnecting: %s", s.hello.worker,
+               e.what());
+      return 1;
+    }
+  }
 }
 
 int serve_forever(const std::string& host, std::uint16_t port) {
   const char* log_dir = std::getenv("REVISIM_DIST_LOG");
+  FaultPlan faults;
+  if (const char* spec = std::getenv("REVISIM_FAULT_PLAN")) {
+    try {
+      faults = parse_fault_plan(spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: REVISIM_FAULT_PLAN: %s\n", e.what());
+      return 1;
+    }
+  }
   int listen_fd = -1;
   try {
     listen_fd = listen_tcp(host, port);
@@ -401,7 +574,7 @@ int serve_forever(const std::string& host, std::uint16_t port) {
       log_path = std::string(log_dir) + "/worker-serve-" +
                  std::to_string(::getpid()) + ".log";
     }
-    serve_connection(fd, nullptr, log_path);
+    serve_connection(fd, nullptr, log_path, faults);
   }
 }
 

@@ -1,0 +1,37 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum the
+// distributed wire format (src/dist/wire.h) and the run journal
+// (src/dist/journal.h) frame their records with.  Incremental: feed chunks
+// through repeated calls, passing the previous return value as `crc`
+// (start from 0).  The pre/post conditioning is handled internally, so the
+// return value of any call is the CRC of everything fed so far.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace revisim::util {
+
+inline std::uint32_t crc32(std::uint32_t crc, const void* data,
+                           std::size_t n) {
+  static const auto table = [] {
+    struct Table {
+      std::uint32_t v[256];
+    } t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t.v[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table.v[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace revisim::util

@@ -46,7 +46,16 @@ enforces four things:
    containers, so the ratio only fails when the absolute gap also exceeds
    DIST_ABS_SLACK_SECONDS.
 
-6. Row schema: every record in the file carries the fields (with the types)
+6. Heartbeat overhead: dist-workers-2-heartbeat (liveness layer on, at a
+   25ms ping interval - 20x tighter than the production default) must not
+   run more than HEARTBEAT_LIMIT times slower than dist-workers-2 on
+   register-script-554, and must stay bit-identical.  At the default 500ms
+   interval the ping traffic is 20x sparser still, so clearing this bar
+   puts the production liveness cost well under 2% of wall clock; the
+   absolute-gap slack absorbs throttled-container jitter as in gates 2
+   and 5.
+
+7. Row schema: every record in the file carries the fields (with the types)
    its record kind promises, so sweeps over commits can diff numbers
    without defensive parsing.
 
@@ -62,6 +71,9 @@ DEDUPE_ABS_SLACK_SECONDS = 0.05
 POR_REDUCTION_MIN = 2.0
 DIST_LIMIT = 1.3
 DIST_ABS_SLACK_SECONDS = 0.05
+HEARTBEAT_LIMIT = 1.25
+HEARTBEAT_ABS_SLACK_SECONDS = 0.05
+HEARTBEAT_INSTANCE = "register-script-554"
 DIST_WORKER_CONFIGS = ("dist-workers-1", "dist-workers-2", "dist-workers-4")
 INSTANCES = ("register-script-554", "collect-writers-443")
 POR_INSTANCE = "register-script-554"
@@ -274,13 +286,46 @@ def main() -> int:
                 f"{DIST_ABS_SLACK_SECONDS}s)"
             )
 
+    # Gate 6: the liveness layer must ride along for (nearly) free.
+    plain_dist = rows.get((HEARTBEAT_INSTANCE, "dist-workers-2"))
+    hb = rows.get((HEARTBEAT_INSTANCE, "dist-workers-2-heartbeat"))
+    if plain_dist is None or hb is None:
+        failures.append(
+            f"{HEARTBEAT_INSTANCE}: missing dist-workers-2/"
+            f"dist-workers-2-heartbeat rows"
+        )
+    else:
+        if not hb.get("identical_to_baseline", False):
+            failures.append(
+                f"{HEARTBEAT_INSTANCE}: dist-workers-2-heartbeat result not "
+                f"bit-identical to serial"
+            )
+        ratio = hb["seconds"] / max(plain_dist["seconds"], 1e-9)
+        gap = hb["seconds"] - plain_dist["seconds"]
+        slow = ratio > HEARTBEAT_LIMIT and gap > HEARTBEAT_ABS_SLACK_SECONDS
+        verdict = "FAIL" if slow else "ok"
+        print(
+            f"scaling-smoke: {HEARTBEAT_INSTANCE}: dist-workers-2"
+            f" {plain_dist['seconds']:.3f}s, dist-workers-2-heartbeat"
+            f" {hb['seconds']:.3f}s -> {ratio:.2f}x"
+            f" (limit {HEARTBEAT_LIMIT}x + {HEARTBEAT_ABS_SLACK_SECONDS}s"
+            f" slack) {verdict}"
+        )
+        if slow:
+            failures.append(
+                f"{HEARTBEAT_INSTANCE}: dist-workers-2-heartbeat is "
+                f"{ratio:.2f}x slower than dist-workers-2 (limit "
+                f"{HEARTBEAT_LIMIT}x, gap {gap:.4f}s > "
+                f"{HEARTBEAT_ABS_SLACK_SECONDS}s)"
+            )
+
     if failures:
         for failure in failures:
             print(f"scaling-smoke: FAIL: {failure}")
         return 1
     print(
         "scaling-smoke: PASS (scaling, dedupe threads, POR, dist parity, "
-        "dist overhead, schema)"
+        "dist overhead, heartbeat overhead, schema)"
     )
     return 0
 
