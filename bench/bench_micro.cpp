@@ -4,8 +4,11 @@
 // the paper (the paper's costs are step counts, covered by E1/E4).
 #include <benchmark/benchmark.h>
 
+#include <sys/socket.h>
+
 #include "src/augmented/augmented_snapshot.h"
 #include "src/augmented/linearizer.h"
+#include "src/dist/fault_channel.h"
 #include "src/dist/wire.h"
 #include "src/memory/register.h"
 #include "src/protocols/ca_consensus.h"
@@ -198,6 +201,83 @@ void BM_WireRoundtrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WireRoundtrip)->Arg(16)->Arg(64);
+
+void BM_WireFpBatchRoundtrip(benchmark::State& state) {
+  // One fingerprint pipeline exchange: encode + decode a kFpBatch of N
+  // claims and its packed kFpVerdicts bitmap.  Steady state reuses writer
+  // capacity both ways - the per-state wire cost the async pipeline
+  // amortizes over the batch.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  dist::FpBatchMsg batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.fps.push_back(
+        util::Fingerprint{0x9e3779b97f4a7c15ull * (i + 1), i});
+  }
+  dist::WireWriter w;
+  dist::WireWriter wv;
+  for (auto _ : state) {
+    w.clear();
+    dist::encode_fp_batch(w, batch);
+    dist::WireReader r(w.data(), w.size());
+    dist::FpBatchMsg got = dist::decode_fp_batch(r);
+    dist::FpVerdictsMsg verdicts;
+    verdicts.resize(static_cast<std::uint32_t>(got.fps.size()));
+    for (std::uint32_t i = 0; i < verdicts.count; ++i) {
+      verdicts.set(i, (i & 1) != 0);
+    }
+    wv.clear();
+    dist::encode_fp_verdicts(wv, verdicts);
+    dist::WireReader rv(wv.data(), wv.size());
+    dist::FpVerdictsMsg back = dist::decode_fp_verdicts(rv);
+    benchmark::DoNotOptimize(back.bitmap.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WireFpBatchRoundtrip)->Arg(1)->Arg(32)->Arg(128);
+
+void BM_ChannelEnqueueFlush(benchmark::State& state) {
+  // The buffered (epoll-side) send path end to end: enqueue N frames into
+  // the reserve-once tx buffer, flush with one scatter-gather writev, and
+  // drain them through buffered_recv on the far side of a socketpair.
+  // Compares directly with N blocking send() round trips (syscalls per
+  // frame vs per flush).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    state.SkipWithError("socketpair failed");
+    return;
+  }
+  dist::Channel tx;
+  dist::Channel rx;
+  tx.adopt(sv[0]);
+  rx.adopt(sv[1]);
+  tx.set_nonblocking();
+  rx.set_nonblocking();
+  dist::LiveMsg live{7, 123456};
+  dist::WireWriter w;
+  dist::Frame frame;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      w.clear();
+      dist::encode_live(w, live);
+      tx.enqueue(dist::MsgType::kLive, w);
+    }
+    while (!tx.flush()) {
+    }
+    std::size_t got = 0;
+    while (got < n) {
+      const int rc = rx.buffered_recv(frame);
+      if (rc > 0) {
+        ++got;
+      }
+    }
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChannelEnqueueFlush)->Arg(1)->Arg(16)->Arg(64);
 
 }  // namespace
 

@@ -329,6 +329,26 @@ bool run_instance(const std::string& name,
         Mode::kDedupe, false, true);
   }
 
+  // Dedupe over the wire: the coordinator owns the sharded fingerprint
+  // table and every claim crosses the socket.  Mode::kDedupe covers the
+  // verdict; the explicit bound below pins the dedupe contract (the
+  // coordinator can only claim states the serial table also saw), and
+  // scaling_smoke.py gate 7 holds dist-dedupe-workers-2 to 1.3x
+  // parallel-dedupe-2 wall clock so a fingerprint service that stalls the
+  // walk on every distinct state fails CI.
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    dist::DistExploreOptions dopt;
+    dopt.base = dedupe;
+    dopt.workers = workers;
+    // Liveness off, as in the undeduped dist rows above.
+    dopt.heartbeat_interval_ms = 0;
+    const auto d =
+        timed([&] { return dist::dist_explore_schedules(make, dopt); });
+    row("dist-dedupe-workers-" + std::to_string(workers), d, workers,
+        Mode::kDedupe, false, true);
+    ok = ok && d.result.states_seen <= serial_dedupe.result.states_seen;
+  }
+
   // Partial-order reduction: executions shrink to one representative per
   // Mazurkiewicz trace while verdict + lex-smallest witness carry over
   // exactly - serially and at every thread count.

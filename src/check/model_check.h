@@ -121,6 +121,12 @@ struct ScheduleExploreOptions {
   // distinct this recovers nearly the whole dedupe overhead; on workloads
   // that do transpose it never triggers.
   bool dedupe_adaptive = false;
+  // Distributed workers only: pump the control channel (abort probes,
+  // fingerprint verdicts) every N explored executions.  1 probes at every
+  // execution boundary - the cadence used by the wire bit-parity tests -
+  // at the cost of a poll syscall per execution.  Ignored by the serial
+  // and in-process parallel explorers.
+  std::size_t dist_probe_interval = 16;
 };
 
 struct ScheduleExploreResult {

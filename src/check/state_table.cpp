@@ -116,6 +116,55 @@ bool StateTable::insert(util::Fingerprint fp,
   return false;
 }
 
+void StateTable::insert_batch(
+    const util::Fingerprint* fps, std::size_t n, bool* was_new,
+    const std::function<std::string(std::size_t)>& canonical) {
+  if (audit_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      was_new[i] = insert(fps[i], canonical
+                                      ? std::function<std::string()>(
+                                            [&, i] { return canonical(i); })
+                                      : std::function<std::string()>{});
+    }
+    return;
+  }
+  // Warm the first probe cacheline of every entry before any CAS: the
+  // probes of a batch are independent, so issuing all the loads up front
+  // overlaps their memory latency.
+  for (std::size_t i = 0; i < n; ++i) {
+    __builtin_prefetch(&slots_[FingerprintHash{}(fps[i]) & mask_], 1, 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    was_new[i] = insert_lockfree(fps[i]);
+  }
+}
+
+bool StateTable::contains(util::Fingerprint fp) const noexcept {
+  if (audit_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(audit_mu_));
+    return canon_.find(fp) != canon_.end();
+  }
+  std::size_t idx = FingerprintHash{}(fp) & mask_;
+  for (std::size_t probes = 0; probes <= mask_; ++probes) {
+    Slot& slot = slots_[idx];
+    const std::uint32_t st =
+        std::atomic_ref<std::uint32_t>(slot.state).load(
+            std::memory_order_acquire);
+    if (st == kEmpty) {
+      return false;
+    }
+    if (st == kFull &&
+        std::atomic_ref<std::uint64_t>(slot.lo).load(
+            std::memory_order_relaxed) == fp.lo &&
+        std::atomic_ref<std::uint64_t>(slot.hi).load(
+            std::memory_order_relaxed) == fp.hi) {
+      return true;
+    }
+    idx = (idx + 1) & mask_;
+  }
+  return false;
+}
+
 std::size_t StateTable::states() const {
   if (!audit_) {
     return size_.load(std::memory_order_relaxed);

@@ -63,6 +63,17 @@ class StateStore {
   virtual bool insert(util::Fingerprint fp,
                       const std::function<std::string()>& canonical = {}) = 0;
 
+  // insert() plus the DFS depth (absolute schedule length) of the node
+  // being claimed.  The engine calls this form at its single insert site;
+  // stores that pipeline claims (the distributed async fingerprint store)
+  // use the depth to track speculation along the current DFS path.  The
+  // default ignores the depth.
+  virtual bool insert_at(util::Fingerprint fp, std::size_t depth,
+                         const std::function<std::string()>& canonical = {}) {
+    (void)depth;
+    return insert(fp, canonical);
+  }
+
   [[nodiscard]] virtual bool audit() const noexcept = 0;
 
   // Distinct states recorded (implementations may report a local lower
@@ -99,6 +110,19 @@ class StateTable final : public StateStore {
   // fingerprint.
   bool insert(util::Fingerprint fp,
               const std::function<std::string()>& canonical = {}) override;
+
+  // Bulk claim-then-walk: inserts fps[0..n) and sets was_new[i] to the
+  // per-entry insert() verdict.  A prefetch pass warms every probe chain's
+  // first cacheline before the CAS pass touches any of them, so a batch
+  // from the fingerprint pipeline pays one memory round trip, not n.  In
+  // audit mode `canonical(i)` serializes entry i (falls back to per-entry
+  // insert; audit is a validation mode, not a fast path).
+  void insert_batch(const util::Fingerprint* fps, std::size_t n,
+                    bool* was_new,
+                    const std::function<std::string(std::size_t)>& canonical = {});
+
+  // Read-only membership probe: true iff fp is recorded.  Never claims.
+  [[nodiscard]] bool contains(util::Fingerprint fp) const noexcept;
 
   [[nodiscard]] bool audit() const noexcept override { return audit_; }
 

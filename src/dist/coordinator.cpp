@@ -1,21 +1,20 @@
 #include "src/dist/coordinator.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdarg>
+#include <cstring>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <optional>
+#include <poll.h>
 #include <stdexcept>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
-#include <thread>
 #include <unistd.h>
 #include <unordered_map>
 #include <utility>
@@ -50,7 +49,6 @@ class Log {
     if (file_ == nullptr) {
       return;
     }
-    std::lock_guard<std::mutex> g(mu_);
     va_list ap;
     va_start(ap, fmt);
     std::vfprintf(file_, fmt, ap);
@@ -60,7 +58,6 @@ class Log {
   }
 
  private:
-  std::mutex mu_;
   std::FILE* file_ = nullptr;
 };
 
@@ -68,7 +65,8 @@ class Log {
 // the genealogy the fault-recovery machinery needs: a lost attempt's
 // re-run walks the job's FULL original region, so everything the attempt
 // donated (children, recursively) must be cancelled or it would be double
-// counted.
+// counted.  All state is owned by the single-threaded event loop - no
+// locks anywhere in the coordinator.
 struct DistJob {
   enum State : int { kPending, kRunning, kDone, kFailed, kAborted };
 
@@ -80,52 +78,78 @@ struct DistJob {
   std::uint32_t sleep_inherited = 0;  // see DonateMsg
   std::size_t donor = 0;
   bool donated = false;            // false for the seed and resumed jobs
-  State state = kPending;          // guarded by the coordinator mutex
+  State state = kPending;
   std::size_t failures = 0;        // failed/lost attempts consumed
   bool abort_sent = false;         // a kCredit abort is already in flight
-  // Genealogy (guarded by the coordinator mutex).  `children` spans every
-  // attempt; `cancelled` excludes the record from the merge because an
-  // ancestor's re-run re-covers its region.
+  // A lost deduped attempt's claims survive in the shard table; the re-run
+  // (and every region it donates, recursively) walks with dedupe off so an
+  // orphaned claim can never prune it.
+  bool no_dedupe = false;
+  // Genealogy.  `children` spans every attempt; `cancelled` excludes the
+  // record from the merge because an ancestor's re-run re-covers its
+  // region.
   DistJob* parent = nullptr;
   std::vector<DistJob*> children;
   bool cancelled = false;
   // Lower bound on this region's executions, fed by kLive messages; same
   // cap-bound role as JobRecord::live_execs.
-  std::atomic<std::uint64_t> live{0};
+  std::uint64_t live = 0;
   check::detail::SubtreeResult result;  // valid once kDone
   std::string error;                    // valid once kFailed
 };
 
-// One worker connection.  The reused writer is the per-connection
-// serialization buffer; send_mu serializes frame writes (the connection's
-// own thread and peers pushing credits/steal requests).  The session
-// outlives individual sockets: on a lost connection the serve thread keeps
-// the Conn and waits for the worker to re-handshake under its token.
-struct Conn {
+// Every epoll registration points at one of these; `kind` says what the
+// event loop is looking at.
+struct PollTarget {
+  enum Kind { kWorkerConn, kProvisional };
+  Kind kind = kWorkerConn;
+};
+
+// One worker connection, owned and driven entirely by the epoll loop.  The
+// session outlives individual sockets: on a lost connection the Conn moves
+// to kAwaitingReconnect and a provisional handshake delivers the fresh
+// channel back under the same session token.
+struct Conn : PollTarget {
+  // kHandshaking: hello sent, awaiting the ack.  kServing: live.
+  // kAwaitingReconnect: socket dead, fork-mode worker may re-dial within
+  // the window.  kDead: retired for good.
+  enum Phase { kHandshaking, kServing, kAwaitingReconnect, kDead };
+
   Channel ch;
   std::size_t worker = 0;
   std::uint64_t session = 0;  // token the reconnecting worker echoes
-  std::mutex send_mu;
-  WireWriter out;
+  WireWriter out;             // per-connection serialization buffer
   Frame in;
   FaultPlan faults;  // per-connection C->W fault plan storage
-  bool alive = true;           // guarded by CoState::mu
-  DistJob* current = nullptr;  // guarded by CoState::mu
+  Phase phase = kHandshaking;
+  DistJob* current = nullptr;
 
-  // Liveness bookkeeping; touched only by the connection's serve thread.
+  // Liveness bookkeeping.  last_sent drives ping piggybacking: ANY frame
+  // advances the worker's liveness clock, so a ping goes out only when
+  // nothing else has for a full interval.
   Clock::time_point last_heard{};
-  Clock::time_point last_ping{};
+  Clock::time_point last_sent{};
   std::uint64_t ping_nonce = 0;
-
-  // Reconnect handoff (guarded by CoState::mu): the acceptor thread parks
-  // the re-handshaken channel here and the serve thread adopts it.
-  bool awaiting_reconnect = false;
-  std::unique_ptr<Channel> pending;
+  Clock::time_point phase_deadline{};  // handshake / reconnect-window expiry
+  std::string death;                   // why the socket died (reconnect path)
+  Clock::time_point stop_since{};      // stop seen with a job still in flight
+  bool stop_stalling = false;
+  bool write_armed = false;  // epoll registration includes EPOLLOUT
 
   // Cluster mode: the endpoint to re-dial (empty host = fork mode, where
   // the worker re-dials us through the kept-open listener instead).
   std::string host;
   std::uint16_t port = 0;
+};
+
+// A re-dialed socket mid-handshake: the provisional hello is out, the ack
+// (echoing a session token) decides which Conn adopts the channel.
+struct Provisional : PollTarget {
+  Channel ch;
+  Frame in;
+  Clock::time_point deadline{};
+  bool dead = false;
+  bool write_armed = false;
 };
 
 struct CoState {
@@ -135,17 +159,15 @@ struct CoState {
   Log* log = nullptr;
   JournalWriter* journal = nullptr;  // nullptr = journaling off
   int listen_fd = -1;                // reconnect acceptor source; -1 = none
+  int epfd = -1;
 
-  std::mutex mu;
-  std::condition_variable cv;
   std::vector<std::unique_ptr<DistJob>> records;  // append-only
   std::uint64_t next_id = 0;  // ids survive resume, so != records index
   std::size_t pending = 0;
   std::size_t running = 0;
-  std::size_t alive = 0;   // connections still serving
+  std::size_t alive = 0;   // connections not yet retired
   std::size_t completions = 0;  // non-cancelled kDone resolutions
   bool stop = false;
-  bool acceptor_stop = false;
   bool first_job_shipped = false;
   bool have_violation = false;
   std::vector<ProcessId> violation_key;
@@ -155,30 +177,32 @@ struct CoState {
   // halt_after_jobs hook fired); becomes the merged partial summary's error.
   std::string unfinished_reason;
   std::vector<std::unique_ptr<Conn>> conns;
+  std::vector<std::unique_ptr<Provisional>> provisional;
 
   // Sharded fingerprint service (dedupe only).  Shard = top bits of fp.hi;
-  // each shard is an ordinary lock-free StateTable, so kFpInsert handlers
-  // never serialize against each other across shards.
+  // each shard is an ordinary StateTable whose insert_batch serves one
+  // kFpBatch frame's worth of claims per call.
   std::vector<std::unique_ptr<check::StateTable>> shards;
   std::size_t shard_bits = 0;
 
   // Sum of live execution counters over records lex-before `key` - a lower
   // bound on the serial execution count before this record's region.
   // Cancelled records hold live == 0 (their region is re-counted by the
-  // ancestor that re-runs it).  Caller holds mu.
+  // ancestor that re-runs it).
   std::uint64_t bound_before(const std::vector<ProcessId>& key) const {
     std::uint64_t sum = 0;
     for (const auto& r : records) {
       if (!r->cancelled && key_less(r->key, key)) {
-        sum += r->live.load(std::memory_order_relaxed);
+        sum += r->live;
       }
     }
     return sum;
   }
 };
 
-// Poll granularity: with heartbeats armed the serve loops must wake often
-// enough to ping on the interval and notice the timeout promptly.
+// Poll granularity: with heartbeats armed the loop must wake often enough
+// to ping on the interval and notice the timeout promptly; without them
+// only coarse timers (deadline, reconnect windows) need the wakeup.
 int tick_ms(const CoState& co, int cap) {
   const std::uint32_t hb = co.options->heartbeat_interval_ms;
   if (hb == 0) {
@@ -188,25 +212,59 @@ int tick_ms(const CoState& co, int cap) {
       std::max<std::uint32_t>(hb / 2, 10), static_cast<std::uint32_t>(cap)));
 }
 
-// Sends one frame to `conn`, serialized against concurrent senders.  A send
-// failure is NOT fatal here: the connection's own thread will observe the
-// dead socket and run the disconnect path.
+void epoll_add(CoState& co, int fd, PollTarget* t, bool write) {
+  struct epoll_event ev {};
+  ev.events = EPOLLIN | (write ? EPOLLOUT : 0);
+  ev.data.ptr = t;
+  ::epoll_ctl(co.epfd, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void epoll_mod(CoState& co, int fd, PollTarget* t, bool write) {
+  struct epoll_event ev {};
+  ev.events = EPOLLIN | (write ? EPOLLOUT : 0);
+  ev.data.ptr = t;
+  ::epoll_ctl(co.epfd, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void epoll_del(CoState& co, int fd) {
+  if (fd >= 0) {
+    ::epoll_ctl(co.epfd, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+// Pushes the tx buffer as far as the socket allows and keeps the EPOLLOUT
+// interest in sync with whether bytes remain.  Throws WireError on a hard
+// socket failure.
+void pump_writes(CoState& co, Conn& conn) {
+  const bool pending = !conn.ch.flush();
+  if (pending != conn.write_armed) {
+    conn.write_armed = pending;
+    epoll_mod(co, conn.ch.fd(), &conn, pending);
+  }
+}
+
+// Enqueues one frame and pushes it out.  A send failure is swallowed: the
+// epoll loop observes the dead socket (EPOLLERR/HUP or read EOF) and runs
+// the disconnect path exactly once, from one place.
 template <typename Encode>
-void send_to(Conn& conn, MsgType type, Encode encode) {
-  std::lock_guard<std::mutex> g(conn.send_mu);
+void send_msg(CoState& co, Conn& conn, MsgType type, Encode encode) {
+  if (!conn.ch.valid()) {
+    return;
+  }
   conn.out.clear();
   encode(conn.out);
   try {
-    conn.ch.send(type, conn.out);
+    conn.ch.enqueue(type, conn.out);
+    conn.last_sent = Clock::now();
+    pump_writes(co, conn);
   } catch (const WireError&) {
   }
 }
 
-// Heartbeat driver, called from every serve-loop iteration (idle or
-// mid-job): pings on the interval even while inbound frames are flowing
-// (the worker's liveness clock only advances on frames it HEARS), and
-// throws once the worker has been silent past the timeout.  Touches only
-// the serve thread's own liveness fields; safe with or without mu.
+// Heartbeat driver, run every tick for every serving connection: throws
+// once the worker has been silent past the timeout, and pings only when no
+// other frame (job, credit, verdicts) went out for a full interval - the
+// liveness traffic piggybacks on the pipeline's own.
 void heartbeat(CoState& co, Conn& conn) {
   const std::uint32_t interval = co.options->heartbeat_interval_ms;
   if (interval == 0) {
@@ -221,10 +279,9 @@ void heartbeat(CoState& co, Conn& conn) {
                     std::to_string(conn.worker) + " silent for " +
                     std::to_string(silent.count()) + "ms");
   }
-  if (now - conn.last_ping >= std::chrono::milliseconds(interval)) {
-    conn.last_ping = now;
+  if (now - conn.last_sent >= std::chrono::milliseconds(interval)) {
     const std::uint64_t nonce = ++conn.ping_nonce;
-    send_to(conn, MsgType::kPing, [nonce](WireWriter& w) {
+    send_msg(co, conn, MsgType::kPing, [nonce](WireWriter& w) {
       PingMsg m;
       m.nonce = nonce;
       encode_ping(w, m);
@@ -235,10 +292,11 @@ void heartbeat(CoState& co, Conn& conn) {
 // Pushes kCredit aborts to every running job the merge provably cannot
 // read: lex-earlier regions already secured the cap, a lex-earlier
 // violation is final, or the job was cancelled outright (an ancestor
-// re-runs its region).  Caller holds mu (lock order: mu before send_mu).
+// re-runs its region).
 void push_aborts(CoState& co) {
   for (const auto& c : co.conns) {
-    if (!c->alive || c->current == nullptr || c->current->abort_sent) {
+    if (c->phase != Conn::kServing || c->current == nullptr ||
+        c->current->abort_sent) {
       continue;
     }
     DistJob* rec = c->current;
@@ -248,7 +306,7 @@ void push_aborts(CoState& co) {
         co.bound_before(rec->key) >= co.cap) {
       rec->abort_sent = true;
       const std::uint64_t id = rec->id;
-      send_to(*c, MsgType::kCredit, [id](WireWriter& w) {
+      send_msg(co, *c, MsgType::kCredit, [id](WireWriter& w) {
         CreditMsg m;
         m.id = id;
         m.abort = true;
@@ -263,12 +321,12 @@ void push_aborts(CoState& co) {
 // records would double count.  Pending descendants leave the queue,
 // running ones are left to their abort credit (caller runs push_aborts),
 // finished ones are excluded from the merge, and the journal gets a
-// tombstone so a later resume ignores them too.  Caller holds mu.
+// tombstone so a later resume ignores them too.
 void cancel_subtree(CoState& co, DistJob* rec) {
   for (DistJob* child : rec->children) {
     if (!child->cancelled) {
       child->cancelled = true;
-      child->live.store(0, std::memory_order_relaxed);
+      child->live = 0;
       if (child->state == DistJob::kPending) {
         child->state = DistJob::kAborted;
         --co.pending;
@@ -286,10 +344,10 @@ void cancel_subtree(CoState& co, DistJob* rec) {
 
 // Re-queues a lost or throwing job - cancelling everything the lost
 // attempt donated - or fails it once retries are exhausted.  With
-// dedupe_states on, a lost attempt fails immediately: its claim-then-walk
-// claims survive in the shard table, so a re-run could prune regions the
-// lost walk never finished (checkpoint-resume restores soundness by
-// starting a fresh table).  Caller holds mu.
+// dedupe_states on, the lost attempt's claim-then-walk claims survive in
+// the shard table, so the re-run is marked no_dedupe (inherited by every
+// region it donates): it walks with dedupe off and can never be pruned by
+// an orphaned claim, keeping states_seen bounded by the serial count.
 void requeue_or_fail(CoState& co, DistJob* rec, const std::string& why) {
   ++rec->failures;
   if (rec->failures > co.options->job_retries) {
@@ -297,28 +355,24 @@ void requeue_or_fail(CoState& co, DistJob* rec, const std::string& why) {
     rec->error = why;
     co.log->line("coordinator: job %llu failed (%s)",
                  static_cast<unsigned long long>(rec->id), why.c_str());
-  } else if (co.options->base.dedupe_states) {
-    rec->state = DistJob::kFailed;
-    rec->error =
-        why +
-        " (dedupe_states keeps the lost attempt's state claims, so a re-run "
-        "could under-explore; resume from the run journal instead)";
-    co.log->line("coordinator: job %llu failed, dedupe forbids requeue (%s)",
-                 static_cast<unsigned long long>(rec->id), why.c_str());
   } else {
     cancel_subtree(co, rec);
     rec->state = DistJob::kPending;
-    rec->live.store(0, std::memory_order_relaxed);
+    rec->live = 0;
     rec->abort_sent = false;
+    if (co.options->base.dedupe_states) {
+      rec->no_dedupe = true;
+    }
     ++co.pending;
-    co.log->line("coordinator: job %llu re-queued (%s)",
-                 static_cast<unsigned long long>(rec->id), why.c_str());
+    co.log->line("coordinator: job %llu re-queued%s (%s)",
+                 static_cast<unsigned long long>(rec->id),
+                 rec->no_dedupe ? " dedupe-off" : "", why.c_str());
   }
 }
 
 // Journals a completed walk the merge may reuse verbatim (fully explored
 // or violating; partial cap/stop walks re-run on resume) and advances the
-// halt_after_jobs hook.  Caller holds mu.
+// halt_after_jobs hook.
 void note_completion(CoState& co, DistJob* rec) {
   if (co.journal != nullptr &&
       (rec->result.fully_explored || rec->result.violation.has_value())) {
@@ -361,6 +415,11 @@ HelloMsg make_hello(const CoState& co, std::uint32_t worker,
   hello.dedupe_adaptive = base.dedupe_adaptive;
   hello.por = base.por;
   hello.live_interval = std::max<std::uint64_t>(co.options->live_interval, 1);
+  hello.probe_interval =
+      std::max<std::uint64_t>(base.dist_probe_interval, 1);
+  hello.fp_batch = std::max<std::uint32_t>(co.options->fp_batch, 1);
+  hello.fp_window =
+      std::max<std::uint32_t>(co.options->fp_window, hello.fp_batch);
   if (spec != nullptr) {
     hello.world = spec->world;
     hello.f = spec->f;
@@ -370,18 +429,34 @@ HelloMsg make_hello(const CoState& co, std::uint32_t worker,
   return hello;
 }
 
-// Hello/ack handshake on conn's current channel.  Returns false on
-// rejection or I/O failure.
-bool handshake(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
+// Retires a session for good.  When the last one goes with work still
+// outstanding the run can never finish; poison it with a summary error
+// instead of hanging.
+void retire(CoState& co, Conn& conn, const std::string& reason) {
+  epoll_del(co, conn.ch.fd());
+  conn.phase = Conn::kDead;
+  conn.write_armed = false;
+  conn.ch.close();
+  if (--co.alive == 0 && (co.pending > 0 || co.running > 0)) {
+    co.stop = true;
+    if (co.unfinished_reason.empty()) {
+      co.unfinished_reason = reason;
+    }
+  }
+}
+
+// Blocking hello/ack handshake on conn's current (blocking) channel - the
+// cluster-mode re-dial path only; first connections and fork-mode
+// reconnects handshake asynchronously through the event loop.  Returns
+// false on rejection or I/O failure.
+bool handshake_blocking(CoState& co, Conn& conn,
+                        const check::CrashWorldSpec* spec) {
   const HelloMsg hello = make_hello(
       co, static_cast<std::uint32_t>(conn.worker), conn.session, spec);
   try {
-    {
-      std::lock_guard<std::mutex> g(conn.send_mu);
-      conn.out.clear();
-      encode_hello(conn.out, hello);
-      conn.ch.send(MsgType::kHello, conn.out);
-    }
+    conn.out.clear();
+    encode_hello(conn.out, hello);
+    conn.ch.send(MsgType::kHello, conn.out);
     if (!conn.ch.wait(10'000) || !conn.ch.recv(conn.in) ||
         conn.in.type != MsgType::kHelloAck) {
       throw WireError("no hello-ack");
@@ -399,6 +474,78 @@ bool handshake(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
   return true;
 }
 
+// Lost connection: requeue the in-flight job (cancelling what the attempt
+// donated), then either re-dial (cluster mode; deliberately blocking - the
+// loop pauses, which is acceptable for the rare recovery path), park the
+// session awaiting a fork-mode re-dial, or retire it.
+void on_conn_lost(CoState& co, Conn& conn, const std::string& why,
+                  const check::CrashWorldSpec* spec) {
+  const std::string death =
+      "worker " + std::to_string(conn.worker) + " disconnected: " + why;
+  co.log->line("coordinator: %s", death.c_str());
+  if (conn.current != nullptr) {
+    requeue_or_fail(co, conn.current, death);
+    --co.running;
+    conn.current = nullptr;
+    push_aborts(co);
+  }
+  conn.stop_stalling = false;
+  epoll_del(co, conn.ch.fd());
+  conn.write_armed = false;
+
+  if (!co.stop && co.options->reconnect_window_ms > 0 && !conn.host.empty()) {
+    // Cluster mode: re-dial the recorded endpoint ourselves.
+    try {
+      const int fd = connect_tcp(
+          conn.host, conn.port,
+          std::chrono::milliseconds(co.options->reconnect_window_ms),
+          conn.worker);
+      conn.ch.adopt(fd);
+      conn.ch.set_faults(conn.faults.any() ? &conn.faults : nullptr);
+      if (handshake_blocking(co, conn, spec)) {
+        conn.ch.set_nonblocking();
+        conn.phase = Conn::kServing;
+        conn.last_heard = conn.last_sent = Clock::now();
+        epoll_add(co, conn.ch.fd(), &conn, false);
+        co.log->line("coordinator: worker %zu session resumed", conn.worker);
+        return;
+      }
+      conn.ch.close();
+    } catch (const std::exception& e) {
+      co.log->line("coordinator: worker %zu re-dial failed: %s", conn.worker,
+                   e.what());
+    }
+    retire(co, conn,
+           "every worker disconnected with work outstanding (last: " + death +
+               ")");
+    return;
+  }
+
+  if (!co.stop && co.options->reconnect_window_ms > 0 && co.listen_fd >= 0) {
+    // Fork mode: close the dead socket NOW so a partitioned-but-alive
+    // worker sees the EOF and knows to re-dial the kept-open listener.
+    conn.ch.close();
+    conn.phase = Conn::kAwaitingReconnect;
+    conn.phase_deadline =
+        Clock::now() +
+        std::chrono::milliseconds(co.options->reconnect_window_ms);
+    conn.death = death;
+    return;
+  }
+
+  retire(co, conn,
+         "every worker disconnected with work outstanding (last: " + death +
+             ")");
+}
+
+void kill_provisional(CoState& co, Provisional& p) {
+  epoll_del(co, p.ch.fd());
+  p.ch.close();
+  p.dead = true;
+}
+
+// Sends one kFpInsert's verdict - the wire-v2 synchronous path, kept for
+// protocol completeness; v3 workers speak kFpBatch.
 void handle_fp_insert(CoState& co, Conn& conn) {
   WireReader r = conn.in.reader();
   FpInsertMsg msg = decode_fp_insert(r);
@@ -418,101 +565,372 @@ void handle_fp_insert(CoState& co, Conn& conn) {
     // prune taken anywhere in this run is suspect.  Poison the run; the
     // worker gets its reply and then an abort credit.
     reply.was_new = true;
-    std::lock_guard<std::mutex> g(co.mu);
     if (co.unfinished_reason.empty()) {
       co.unfinished_reason = e.what();
     }
     co.stop = true;
     push_aborts(co);
-    co.cv.notify_all();
   }
-  send_to(conn, MsgType::kFpReply,
-          [&reply](WireWriter& w) { encode_fp_reply(w, reply); });
+  send_msg(co, conn, MsgType::kFpReply,
+           [&reply](WireWriter& w) { encode_fp_reply(w, reply); });
 }
 
-// Drains frames queued on an idle connection (only heartbeat traffic is
-// legal between jobs) and runs the heartbeat.  Caller holds mu; throws on
-// connection death.
-void idle_tick(CoState& co, Conn& conn) {
-  for (;;) {
-    const int got = conn.ch.try_recv(conn.in);
-    if (got == 0) {
+// Serves one kFpBatch frame: bucket the claims by shard, bulk-insert each
+// shard's slice (one prefetch-warmed probe pass per shard), scatter the
+// verdicts back into wire order and answer with one packed kFpVerdicts
+// bitmap.
+void handle_fp_batch(CoState& co, Conn& conn) {
+  WireReader r = conn.in.reader();
+  FpBatchMsg msg = decode_fp_batch(r);
+  const std::uint32_t n = static_cast<std::uint32_t>(msg.fps.size());
+  FpVerdictsMsg verdicts;
+  verdicts.resize(n);
+  std::vector<std::vector<std::uint32_t>> by_shard(
+      std::max<std::size_t>(co.shards.size(), 1));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::size_t shard =
+        co.shard_bits == 0
+            ? 0
+            : static_cast<std::size_t>(msg.fps[i].hi >> (64 - co.shard_bits));
+    by_shard[shard].push_back(i);
+  }
+  bool poisoned = false;
+  std::string poison;
+  std::vector<util::Fingerprint> fps;
+  std::vector<bool> scratch;  // avoid vector<bool>: insert_batch wants bool*
+  std::unique_ptr<bool[]> was_new;
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    const std::vector<std::uint32_t>& idx = by_shard[s];
+    if (idx.empty()) {
+      continue;
+    }
+    if (poisoned) {
+      // The audit already blew up: answer was_new for the rest (the run is
+      // poisoned and aborting; no prune taken on these matters).
+      for (const std::uint32_t i : idx) {
+        verdicts.set(i, true);
+      }
+      continue;
+    }
+    fps.clear();
+    for (const std::uint32_t i : idx) {
+      fps.push_back(msg.fps[i]);
+    }
+    was_new = std::make_unique<bool[]>(idx.size());
+    std::function<std::string(std::size_t)> canonical;
+    if (msg.has_canonical) {
+      canonical = [&msg, &idx](std::size_t j) {
+        return msg.canonicals[idx[j]];
+      };
+    }
+    try {
+      co.shards[s]->insert_batch(fps.data(), idx.size(), was_new.get(),
+                                 canonical);
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        verdicts.set(idx[j], was_new[j]);
+      }
+    } catch (const check::StateFingerprintCollision& e) {
+      poisoned = true;
+      poison = e.what();
+      for (const std::uint32_t i : idx) {
+        verdicts.set(i, true);
+      }
+    }
+  }
+  (void)scratch;
+  if (poisoned) {
+    if (co.unfinished_reason.empty()) {
+      co.unfinished_reason = poison;
+    }
+    co.stop = true;
+    push_aborts(co);
+  }
+  send_msg(co, conn, MsgType::kFpVerdicts, [&verdicts](WireWriter& w) {
+    encode_fp_verdicts(w, verdicts);
+  });
+}
+
+// One inbound frame from a serving worker.  Throws WireError on protocol
+// violations; the caller runs the disconnect path.
+void handle_frame(CoState& co, Conn& conn) {
+  DistJob* rec = conn.current;
+  switch (conn.in.type) {
+    case MsgType::kPing: {
+      WireReader r = conn.in.reader();
+      const PingMsg ping = decode_ping(r);
+      send_msg(co, conn, MsgType::kPong, [&ping](WireWriter& w) {
+        PongMsg m;
+        m.nonce = ping.nonce;
+        encode_pong(w, m);
+      });
       break;
+    }
+    case MsgType::kPong:
+      break;  // liveness bookkeeping happened at recv
+    case MsgType::kFpInsert:
+      handle_fp_insert(co, conn);
+      break;
+    case MsgType::kFpBatch:
+      handle_fp_batch(co, conn);
+      break;
+    case MsgType::kLive: {
+      WireReader r = conn.in.reader();
+      const LiveMsg live = decode_live(r);
+      if (rec != nullptr && live.id == rec->id) {
+        // A cancelled job's credits must stay zero: bound_before feeding a
+        // cancelled region's executions into budgets would double count
+        // against the ancestor's re-run.
+        if (!rec->cancelled) {
+          rec->live = live.executions;
+          push_aborts(co);
+        }
+      }
+      break;
+    }
+    case MsgType::kDonate: {
+      WireReader r = conn.in.reader();
+      DonateMsg d = decode_donate(r);
+      if (d.choices.empty()) {
+        throw WireError("donation with no choices");
+      }
+      if (rec == nullptr) {
+        throw WireError("donation outside a job");
+      }
+      if (rec->cancelled) {
+        // The donated region is inside rec's region, which an ancestor's
+        // re-run already re-covers.
+        co.log->line("coordinator: donation from cancelled job %llu dropped",
+                     static_cast<unsigned long long>(rec->id));
+        break;
+      }
+      auto child = std::make_unique<DistJob>();
+      child->id = co.next_id++;
+      child->key = d.prefix;
+      child->key.push_back(d.choices[0]);
+      child->prefix = std::move(d.prefix);
+      child->choices = std::move(d.choices);
+      child->sleep = std::move(d.sleep);
+      child->sleep_inherited = d.sleep_inherited;
+      child->donor = conn.worker;
+      child->donated = true;
+      child->no_dedupe = rec->no_dedupe;  // dedupe-off regions donate likewise
+      child->parent = rec;
+      rec->children.push_back(child.get());
+      if (co.journal != nullptr) {
+        co.journal->job_created(child->id, true, rec->id, child->prefix,
+                                child->choices, child->sleep,
+                                child->sleep_inherited);
+      }
+      co.records.push_back(std::move(child));
+      ++co.pending;
+      break;
+    }
+    case MsgType::kJobResult: {
+      WireReader r = conn.in.reader();
+      JobResultMsg msg = decode_job_result(r);
+      if (rec == nullptr) {
+        throw WireError("job result outside a job");
+      }
+      if (!rec->cancelled) {
+        rec->live = msg.result.executions;
+        if (msg.result.violation &&
+            (!co.have_violation || key_less(rec->key, co.violation_key))) {
+          co.have_violation = true;
+          co.violation_key = rec->key;
+        }
+        rec->result = std::move(msg.result);
+        // Partial walks (abort credits, stop) are stored as kDone too,
+        // exactly like the in-process explorer: the merge either never
+        // reads them or reports the truncation they represent.
+        rec->state = DistJob::kDone;
+        note_completion(co, rec);
+      } else {
+        // The walk raced its cancellation; the result is already
+        // re-covered by an ancestor's re-run.
+        rec->state = DistJob::kDone;
+      }
+      --co.running;
+      conn.current = nullptr;
+      conn.stop_stalling = false;
+      push_aborts(co);
+      break;
+    }
+    case MsgType::kJobError: {
+      WireReader r = conn.in.reader();
+      const JobErrorMsg msg = decode_job_error(r);
+      if (rec == nullptr) {
+        throw WireError("job error outside a job");
+      }
+      if (!rec->cancelled) {
+        requeue_or_fail(co, rec, msg.message);
+        push_aborts(co);
+      } else {
+        rec->state = DistJob::kDone;  // cancelled: merged as skipped
+      }
+      --co.running;
+      conn.current = nullptr;
+      conn.stop_stalling = false;
+      break;
+    }
+    default:
+      throw WireError("unexpected frame type " +
+                      std::to_string(static_cast<int>(conn.in.type)));
+  }
+}
+
+// Consumes a kHandshaking connection's hello-ack and promotes it to
+// serving (or retires it on rejection).
+void finish_handshake(CoState& co, Conn& conn) {
+  if (conn.in.type != MsgType::kHelloAck) {
+    throw WireError("expected hello-ack, got frame type " +
+                    std::to_string(static_cast<int>(conn.in.type)));
+  }
+  WireReader r = conn.in.reader();
+  const HelloAckMsg ack = decode_hello_ack(r);
+  if (!ack.ok) {
+    co.log->line("coordinator: worker %zu rejected hello: %s", conn.worker,
+                 ack.error.c_str());
+    retire(co, conn, "every worker disconnected before the run finished");
+    return;
+  }
+  conn.phase = Conn::kServing;
+  conn.last_heard = conn.last_sent = Clock::now();
+}
+
+// Drains every complete frame buffered on the connection.  Throws on EOF
+// or protocol violations.
+void service_read(CoState& co, Conn& conn) {
+  for (;;) {
+    const int got = conn.ch.buffered_recv(conn.in);
+    if (got == 0) {
+      return;
     }
     if (got < 0) {
       throw WireError("connection closed");
     }
     conn.last_heard = Clock::now();
-    if (conn.in.type == MsgType::kPing) {
-      WireReader r = conn.in.reader();
-      const PingMsg ping = decode_ping(r);
-      send_to(conn, MsgType::kPong, [&ping](WireWriter& w) {
-        PongMsg m;
-        m.nonce = ping.nonce;
-        encode_pong(w, m);
-      });
-    } else if (conn.in.type != MsgType::kPong) {
-      throw WireError("unexpected frame type " +
-                      std::to_string(static_cast<int>(conn.in.type)) +
-                      " between jobs");
+    if (conn.phase == Conn::kHandshaking) {
+      finish_handshake(co, conn);
+      if (conn.phase != Conn::kServing) {
+        return;  // retired
+      }
+      continue;
     }
+    handle_frame(co, conn);
   }
-  heartbeat(co, conn);
 }
 
-// Claim/ship/pump loop for one connected session: the exact structure of
-// parallel_explore.cpp's run_one_worker with the in-process hooks replaced
-// by their wire twins.  Returns on a clean run end; throws WireError when
-// the connection dies (socket error, protocol violation, heartbeat
-// timeout) - the caller owns requeue + reconnect.
-void serve_session(CoState& co, Conn& conn) {
-  std::unique_lock<std::mutex> lk(co.mu);
-  for (;;) {
-    DistJob* rec = nullptr;
-    while (!co.stop) {
-      if (past_deadline(co)) {
-        co.stop = true;
-        push_aborts(co);
-        co.cv.notify_all();
-        break;
-      }
-      for (const auto& r : co.records) {
-        if (r->state == DistJob::kPending &&
-            (rec == nullptr || key_less(r->key, rec->key))) {
-          rec = r.get();
-        }
-      }
-      if (rec != nullptr || (co.pending == 0 && co.running == 0)) {
-        break;
-      }
-      // Hungry: the in-process hungry hint, spoken over the wire.  Poke
-      // every busy worker; re-poke on every wakeup timeout in case the
-      // request raced a donation that someone else claimed.
-      if (co.options->steal_requests) {
-        for (const auto& c : co.conns) {
-          if (c.get() != &conn && c->alive && c->current != nullptr) {
-            send_to(*c, MsgType::kStealReq,
-                    [](WireWriter&) { /* empty payload */ });
-          }
-        }
-      }
-      idle_tick(co, conn);
-      co.cv.wait_for(lk, std::chrono::milliseconds(tick_ms(co, 100)));
+// Drives a provisional (re-dial) handshake: flush the provisional hello,
+// read the ack, and hand the channel - WITH its sequence counters, which
+// is why it moves instead of re-adopting - to the session whose token the
+// ack echoes.
+void service_provisional(CoState& co, Provisional& p, std::uint32_t events) {
+  try {
+    if ((events & EPOLLOUT) != 0 && p.ch.flush() && p.write_armed) {
+      p.write_armed = false;
+      epoll_mod(co, p.ch.fd(), &p, false);
     }
-    if (rec == nullptr || co.stop) {
-      co.cv.notify_all();  // cascade termination to the other waiters
+    if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) == 0) {
       return;
     }
-    rec->state = DistJob::kRunning;
-    --co.pending;
-    ++co.running;
-    conn.current = rec;
-    rec->abort_sent = false;
-    rec->live.store(0, std::memory_order_relaxed);
-    if (rec->donated && rec->donor != conn.worker) {
-      ++co.steals;
+    const int got = p.ch.buffered_recv(p.in);
+    if (got == 0) {
+      return;
     }
+    if (got < 0 || p.in.type != MsgType::kHelloAck) {
+      kill_provisional(co, p);
+      return;
+    }
+    WireReader r = p.in.reader();
+    const HelloAckMsg ack = decode_hello_ack(r);
+    if (!ack.ok || !ack.resume) {
+      kill_provisional(co, p);  // not a reconnect; drop it
+      return;
+    }
+    for (const auto& c : co.conns) {
+      if (c->session == ack.session &&
+          c->phase == Conn::kAwaitingReconnect) {
+        co.log->line("coordinator: worker %zu re-dialed", c->worker);
+        epoll_del(co, p.ch.fd());
+        c->ch = std::move(p.ch);
+        p.dead = true;
+        c->ch.set_faults(c->faults.any() ? &c->faults : nullptr);
+        c->phase = Conn::kServing;
+        c->current = nullptr;
+        c->write_armed = false;
+        c->last_heard = c->last_sent = Clock::now();
+        epoll_add(co, c->ch.fd(), c.get(), false);
+        co.log->line("coordinator: worker %zu session resumed", c->worker);
+        return;
+      }
+    }
+    kill_provisional(co, p);  // unmatched (window expired, bogus token)
+  } catch (const std::exception&) {
+    kill_provisional(co, p);
+  }
+}
 
+// Accepts every re-dialing fork-mode worker queued on the listener and
+// starts its provisional handshake (the worker's HelloAck echoes its prior
+// session token with resume=true).
+void accept_reconnects(CoState& co, const check::CrashWorldSpec* spec) {
+  for (;;) {
+    int fd = -1;
+    try {
+      fd = accept_tcp(co.listen_fd, 0);
+    } catch (const std::exception&) {
+      return;  // listener gone
+    }
+    if (fd < 0) {
+      return;
+    }
+    auto prov = std::make_unique<Provisional>();
+    prov->kind = PollTarget::kProvisional;
+    prov->ch.adopt(fd);
+    prov->deadline = Clock::now() + std::chrono::milliseconds(5'000);
+    try {
+      prov->ch.set_nonblocking();
+      // The handshake runs fault-free on a provisional identity; the
+      // session's fault plan reattaches with the channel.
+      WireWriter w;
+      encode_hello(w, make_hello(co, /*worker=*/0xffffffffu, /*session=*/0,
+                                 spec));
+      prov->ch.enqueue(MsgType::kHello, w);
+      prov->write_armed = !prov->ch.flush();
+      epoll_add(co, prov->ch.fd(), prov.get(), prov->write_armed);
+    } catch (const std::exception&) {
+      continue;  // socket died mid-hello; drop it
+    }
+    co.provisional.push_back(std::move(prov));
+  }
+}
+
+// Event-driven job assignment: ships the lex-least pending job to an idle
+// serving connection, repeating until one side runs dry.  Runs after every
+// event batch, so a freed worker or a fresh donation is matched
+// immediately instead of waiting out a poll tick.
+void assign_jobs(CoState& co) {
+  while (!co.stop && co.pending > 0) {
+    Conn* idle = nullptr;
+    for (const auto& c : co.conns) {
+      if (c->phase == Conn::kServing && c->current == nullptr) {
+        idle = c.get();
+        break;
+      }
+    }
+    if (idle == nullptr) {
+      return;
+    }
+    DistJob* rec = nullptr;
+    for (const auto& r : co.records) {
+      if (r->state == DistJob::kPending &&
+          (rec == nullptr || key_less(r->key, rec->key))) {
+        rec = r.get();
+      }
+    }
+    if (rec == nullptr) {
+      return;
+    }
     // Pre-skip jobs whose result the merge provably cannot read (same
     // bound as the in-process claim path).
     const std::uint64_t before = co.bound_before(rec->key);
@@ -520,14 +938,18 @@ void serve_session(CoState& co, Conn& conn) {
         co.have_violation && key_less(co.violation_key, rec->key);
     if (before >= co.cap || dead_key) {
       rec->state = DistJob::kAborted;
-      --co.running;
-      conn.current = nullptr;
-      if (co.pending == 0 && co.running == 0) {
-        co.cv.notify_all();
-      }
+      --co.pending;
       continue;
     }
-
+    rec->state = DistJob::kRunning;
+    --co.pending;
+    ++co.running;
+    idle->current = rec;
+    rec->abort_sent = false;
+    rec->live = 0;
+    if (rec->donated && rec->donor != idle->worker) {
+      ++co.steals;
+    }
     JobMsg job;
     job.id = rec->id;
     job.budget = co.cap - before;
@@ -535,362 +957,198 @@ void serve_session(CoState& co, Conn& conn) {
     job.choices = rec->choices;
     job.sleep = rec->sleep;
     job.sleep_inherited = rec->sleep_inherited;
+    job.no_dedupe = rec->no_dedupe;
     if (co.options->fault_first_job_after != 0 && !co.first_job_shipped) {
       job.fault_after = co.options->fault_first_job_after;
     }
     co.first_job_shipped = true;
     co.log->line(
         "coordinator: job %llu -> worker %zu (prefix=%zu choices=%zu "
-        "budget=%llu)",
-        static_cast<unsigned long long>(job.id), conn.worker,
+        "budget=%llu%s)",
+        static_cast<unsigned long long>(job.id), idle->worker,
         job.prefix.size(), job.choices.size(),
-        static_cast<unsigned long long>(job.budget));
+        static_cast<unsigned long long>(job.budget),
+        job.no_dedupe ? " dedupe-off" : "");
+    send_msg(co, *idle, MsgType::kJob,
+             [&job](WireWriter& w) { encode_job(w, job); });
+  }
+}
 
-    lk.unlock();
-    {
-      std::lock_guard<std::mutex> g(conn.send_mu);
-      conn.out.clear();
-      encode_job(conn.out, job);
-      conn.ch.send(MsgType::kJob, conn.out);
+// The hungry hint, spoken over the wire: when a serving connection idles
+// with no pending job, poke every busy worker to donate.  Re-poked every
+// tick in case a request raced a donation someone else claimed.
+void poke_steals(CoState& co) {
+  if (!co.options->steal_requests || co.stop || co.pending != 0 ||
+      co.running == 0) {
+    return;
+  }
+  bool hungry = false;
+  for (const auto& c : co.conns) {
+    if (c->phase == Conn::kServing && c->current == nullptr) {
+      hungry = true;
+      break;
     }
-    const int tick = tick_ms(co, 200);
-    int stop_stall_ms = 0;
-    for (bool resolved = false; !resolved;) {
-      // Ping even while frames flow: the worker's liveness clock advances
-      // only on frames it hears, and a busy coordinator otherwise sends
-      // nothing for the whole job.
-      heartbeat(co, conn);
-      if (!conn.ch.wait(tick)) {
-        std::lock_guard<std::mutex> g(co.mu);
-        if (past_deadline(co) && !co.stop) {
-          co.stop = true;
-          co.cv.notify_all();
+  }
+  if (!hungry) {
+    return;
+  }
+  for (const auto& c : co.conns) {
+    if (c->phase == Conn::kServing && c->current != nullptr) {
+      send_msg(co, *c, MsgType::kStealReq,
+               [](WireWriter&) { /* empty payload */ });
+    }
+  }
+}
+
+// Timer pass, run once per epoll wakeup: run deadline, heartbeats,
+// reconnect-window and handshake expiries, the stop-stall guard, and the
+// provisional sweep.
+void run_timers(CoState& co, const check::CrashWorldSpec* spec) {
+  const auto now = Clock::now();
+  if (!co.stop && past_deadline(co)) {
+    co.stop = true;
+    push_aborts(co);
+  }
+  for (const auto& c : co.conns) {
+    switch (c->phase) {
+      case Conn::kServing:
+        try {
+          heartbeat(co, *c);
+        } catch (const std::exception& e) {
+          on_conn_lost(co, *c, e.what(), spec);
+          break;
         }
-        if (co.stop) {
-          push_aborts(co);
+        if (co.stop && c->current != nullptr) {
           // A stopped worker answers the abort credit within one
-          // execution; a worker that stays silent for 10s of stop is
-          // wedged or gone - cut it loose so the run can summarize.
-          stop_stall_ms += tick;
-          if (stop_stall_ms >= 10'000) {
-            throw WireError("worker unresponsive after stop");
+          // execution; one that stays silent for 10s of stop is wedged or
+          // gone - cut it loose so the run can summarize.
+          if (!c->stop_stalling) {
+            c->stop_stalling = true;
+            c->stop_since = now;
+          } else if (now - c->stop_since >= std::chrono::seconds(10)) {
+            on_conn_lost(co, *c, "worker unresponsive after stop", spec);
           }
+        } else {
+          c->stop_stalling = false;
         }
-        continue;
-      }
-      if (!conn.ch.recv(conn.in)) {
-        throw WireError("connection closed");
-      }
-      conn.last_heard = Clock::now();
-      switch (conn.in.type) {
-        case MsgType::kPing: {
-          WireReader r = conn.in.reader();
-          const PingMsg ping = decode_ping(r);
-          send_to(conn, MsgType::kPong, [&ping](WireWriter& w) {
-            PongMsg m;
-            m.nonce = ping.nonce;
-            encode_pong(w, m);
-          });
-          break;
-        }
-        case MsgType::kPong:
-          break;  // liveness bookkeeping happened above
-        case MsgType::kLive: {
-          WireReader r = conn.in.reader();
-          const LiveMsg live = decode_live(r);
-          if (live.id == rec->id) {
-            std::lock_guard<std::mutex> g(co.mu);
-            // A cancelled job's credits must stay zero: bound_before
-            // feeding a cancelled region's executions into budgets would
-            // double count against the ancestor's re-run.
-            if (!rec->cancelled) {
-              rec->live.store(live.executions, std::memory_order_relaxed);
-              push_aborts(co);
-            }
-          }
-          break;
-        }
-        case MsgType::kDonate: {
-          WireReader r = conn.in.reader();
-          DonateMsg d = decode_donate(r);
-          if (d.choices.empty()) {
-            throw WireError("donation with no choices");
-          }
-          std::lock_guard<std::mutex> g(co.mu);
-          if (rec->cancelled) {
-            // The donated region is inside rec's region, which an
-            // ancestor's re-run already re-covers.
-            co.log->line(
-                "coordinator: donation from cancelled job %llu dropped",
-                static_cast<unsigned long long>(rec->id));
-            break;
-          }
-          auto child = std::make_unique<DistJob>();
-          child->id = co.next_id++;
-          child->key = d.prefix;
-          child->key.push_back(d.choices[0]);
-          child->prefix = std::move(d.prefix);
-          child->choices = std::move(d.choices);
-          child->sleep = std::move(d.sleep);
-          child->sleep_inherited = d.sleep_inherited;
-          child->donor = conn.worker;
-          child->donated = true;
-          child->parent = rec;
-          rec->children.push_back(child.get());
-          if (co.journal != nullptr) {
-            co.journal->job_created(child->id, true, rec->id, child->prefix,
-                                    child->choices, child->sleep,
-                                    child->sleep_inherited);
-          }
-          co.records.push_back(std::move(child));
-          ++co.pending;
-          co.cv.notify_one();
-          break;
-        }
-        case MsgType::kFpInsert:
-          handle_fp_insert(co, conn);
-          break;
-        case MsgType::kJobResult: {
-          WireReader r = conn.in.reader();
-          JobResultMsg msg = decode_job_result(r);
-          std::lock_guard<std::mutex> g(co.mu);
-          if (!rec->cancelled) {
-            rec->live.store(msg.result.executions, std::memory_order_relaxed);
-            if (msg.result.violation &&
-                (!co.have_violation ||
-                 key_less(rec->key, co.violation_key))) {
-              co.have_violation = true;
-              co.violation_key = rec->key;
-            }
-            rec->result = std::move(msg.result);
-            // Partial walks (abort credits, stop) are stored as kDone too,
-            // exactly like the in-process explorer: the merge either never
-            // reads them or reports the truncation they represent.
-            rec->state = DistJob::kDone;
-            note_completion(co, rec);
-          } else {
-            // The walk raced its cancellation; the result is already
-            // re-covered by an ancestor's re-run.
-            rec->state = DistJob::kDone;
-          }
-          --co.running;
-          conn.current = nullptr;
-          push_aborts(co);
-          co.cv.notify_all();
-          resolved = true;
-          break;
-        }
-        case MsgType::kJobError: {
-          WireReader r = conn.in.reader();
-          const JobErrorMsg msg = decode_job_error(r);
-          std::lock_guard<std::mutex> g(co.mu);
-          if (!rec->cancelled) {
-            requeue_or_fail(co, rec, msg.message);
-            push_aborts(co);
-          } else {
-            rec->state = DistJob::kDone;  // cancelled: merged as skipped
-          }
-          --co.running;
-          conn.current = nullptr;
-          co.cv.notify_all();
-          resolved = true;
-          break;
-        }
-        default:
-          throw WireError("unexpected frame type " +
-                          std::to_string(static_cast<int>(conn.in.type)));
-      }
-    }
-    lk.lock();
-  }
-}
-
-// Waits for the lost worker's session to come back within the reconnect
-// window: fork mode parks on the cv until the acceptor thread delivers a
-// re-handshaken channel; cluster mode re-dials the recorded endpoint.
-// Caller holds mu (the lock is dropped around the cluster dial); true
-// means conn.ch carries a fresh handshaken connection.
-bool reattach(CoState& co, Conn& conn, std::unique_lock<std::mutex>& lk,
-              const check::CrashWorldSpec* spec) {
-  const auto window =
-      std::chrono::milliseconds(co.options->reconnect_window_ms);
-  if (!conn.host.empty()) {
-    lk.unlock();
-    bool ok = false;
-    try {
-      const int fd = connect_tcp(conn.host, conn.port, window, conn.worker);
-      conn.ch.adopt(fd);
-      conn.ch.set_faults(conn.faults.any() ? &conn.faults : nullptr);
-      ok = handshake(co, conn, spec);
-      if (!ok) {
-        conn.ch.close();
-      }
-    } catch (const std::exception& e) {
-      co.log->line("coordinator: worker %zu re-dial failed: %s", conn.worker,
-                   e.what());
-    }
-    lk.lock();
-    return ok && !co.stop;
-  }
-  if (co.listen_fd < 0) {
-    return false;
-  }
-  conn.awaiting_reconnect = true;
-  const auto deadline = Clock::now() + window;
-  while (!co.stop && !(co.pending == 0 && co.running == 0) &&
-         conn.pending == nullptr && Clock::now() < deadline) {
-    co.cv.wait_until(lk, deadline);
-  }
-  conn.awaiting_reconnect = false;
-  if (conn.pending == nullptr || co.stop) {
-    conn.pending.reset();
-    return false;
-  }
-  conn.ch = std::move(*conn.pending);
-  conn.pending.reset();
-  conn.ch.set_faults(conn.faults.any() ? &conn.faults : nullptr);
-  return true;
-}
-
-// One thread per worker session: serve the connection, and on a lost one
-// requeue the in-flight job (cancelling what its attempt donated), then
-// wait for the worker to reconnect before giving the session up for dead.
-void serve_worker(CoState& co, Conn& conn, const check::CrashWorldSpec* spec) {
-  const bool connected = handshake(co, conn, spec);
-  std::unique_lock<std::mutex> lk(co.mu);
-  if (!connected) {
-    conn.alive = false;
-    if (--co.alive == 0 && (co.pending > 0 || co.running > 0)) {
-      co.stop = true;
-      if (co.unfinished_reason.empty()) {
-        co.unfinished_reason =
-            "every worker disconnected before the run finished";
-      }
-    }
-    co.cv.notify_all();
-    return;
-  }
-  conn.last_heard = conn.last_ping = Clock::now();
-
-  for (;;) {
-    std::string death;
-    bool finished = false;
-    lk.unlock();
-    try {
-      serve_session(co, conn);
-      finished = true;
-    } catch (const std::exception& e) {
-      death = "worker " + std::to_string(conn.worker) +
-              " disconnected: " + e.what();
-    }
-    lk.lock();
-    if (finished) {
-      // Normal exit: hand the worker its shutdown and retire the session.
-      send_to(conn, MsgType::kShutdown, [](WireWriter&) {});
-      conn.alive = false;
-      --co.alive;
-      co.cv.notify_all();
-      return;
-    }
-
-    co.log->line("coordinator: %s", death.c_str());
-    conn.alive = false;  // peers stop routing credits/steal pokes here
-    if (conn.current != nullptr) {
-      requeue_or_fail(co, conn.current, death);
-      --co.running;
-      conn.current = nullptr;
-      push_aborts(co);
-    }
-    co.cv.notify_all();
-    // Close the dead socket NOW (not at run end): a partitioned-but-alive
-    // worker sees the EOF and knows to re-dial.  Safe against concurrent
-    // send_to: every cross-thread send happens under mu, which we hold.
-    conn.ch.close();
-
-    if (!co.stop && co.options->reconnect_window_ms > 0 &&
-        reattach(co, conn, lk, spec)) {
-      conn.alive = true;
-      conn.last_heard = conn.last_ping = Clock::now();
-      co.log->line("coordinator: worker %zu session resumed", conn.worker);
-      continue;
-    }
-
-    if (--co.alive == 0 && (co.pending > 0 || co.running > 0)) {
-      co.stop = true;
-      if (co.unfinished_reason.empty()) {
-        co.unfinished_reason =
-            "every worker disconnected with work outstanding (last: " +
-            death + ")";
-      }
-    }
-    co.cv.notify_all();
-    return;
-  }
-}
-
-// Accepts re-dialing fork-mode workers on the kept-open listener, runs the
-// provisional handshake (the worker's HelloAck echoes its prior session
-// token with resume=true) and parks the channel on the matching session's
-// Conn for its serve thread to adopt.
-void acceptor_loop(CoState& co, const check::CrashWorldSpec* spec) {
-  for (;;) {
-    {
-      std::lock_guard<std::mutex> g(co.mu);
-      if (co.acceptor_stop) {
-        return;
-      }
-    }
-    int fd = -1;
-    try {
-      fd = accept_tcp(co.listen_fd, 200);
-    } catch (const std::exception&) {
-      return;  // listener gone
-    }
-    if (fd < 0) {
-      continue;
-    }
-    {
-      // Re-check under the lock before handshaking: a dial that raced the
-      // shutdown wake-up must not hold the join for a handshake timeout.
-      std::lock_guard<std::mutex> g(co.mu);
-      if (co.acceptor_stop) {
-        ::close(fd);
-        return;
-      }
-    }
-    auto ch = std::make_unique<Channel>(fd);
-    HelloAckMsg ack;
-    try {
-      // The handshake runs fault-free on a provisional identity; the
-      // session's fault plan reattaches with the channel.
-      WireWriter w;
-      encode_hello(w, make_hello(co, /*worker=*/0xffffffffu, /*session=*/0,
-                                 spec));
-      ch->send(MsgType::kHello, w);
-      Frame f;
-      if (!ch->wait(5'000) || !ch->recv(f) ||
-          f.type != MsgType::kHelloAck) {
-        continue;
-      }
-      WireReader r = f.reader();
-      ack = decode_hello_ack(r);
-    } catch (const std::exception&) {
-      continue;
-    }
-    if (!ack.ok || !ack.resume) {
-      continue;  // not a reconnect; drop it
-    }
-    std::lock_guard<std::mutex> g(co.mu);
-    for (const auto& c : co.conns) {
-      if (c->session == ack.session && c->awaiting_reconnect &&
-          c->pending == nullptr) {
-        co.log->line("coordinator: worker %zu re-dialed", c->worker);
-        c->pending = std::move(ch);
-        co.cv.notify_all();
         break;
+      case Conn::kHandshaking:
+        if (now >= c->phase_deadline) {
+          co.log->line("coordinator: worker %zu handshake timed out",
+                       c->worker);
+          retire(co, *c,
+                 "every worker disconnected before the run finished");
+        }
+        break;
+      case Conn::kAwaitingReconnect:
+        if (co.stop || now >= c->phase_deadline) {
+          retire(co, *c,
+                 "every worker disconnected with work outstanding (last: " +
+                     c->death + ")");
+        }
+        break;
+      case Conn::kDead:
+        break;
+    }
+  }
+  for (const auto& p : co.provisional) {
+    if (!p->dead && now >= p->deadline) {
+      kill_provisional(co, *p);
+    }
+  }
+  co.provisional.erase(
+      std::remove_if(co.provisional.begin(), co.provisional.end(),
+                     [](const std::unique_ptr<Provisional>& p) {
+                       return p->dead;
+                     }),
+      co.provisional.end());
+}
+
+// The coordinator: one thread, one epoll loop, every connection
+// non-blocking and buffered.  Ownership rules: the loop alone touches
+// channels, job records and the shard tables (no locks anywhere);
+// registrations point at Conn/Provisional objects whose lifetime outlasts
+// their fd (Conns live for the whole run, Provisionals are swept only
+// between event batches, so a stale event in the current batch always
+// finds a live object and a phase/dead check).
+void run_event_loop(CoState& co, const check::CrashWorldSpec* spec) {
+  const auto now = Clock::now();
+  for (const auto& c : co.conns) {
+    c->ch.set_nonblocking();
+    c->phase = Conn::kHandshaking;
+    c->phase_deadline = now + std::chrono::milliseconds(10'000);
+    c->last_heard = c->last_sent = now;
+    epoll_add(co, c->ch.fd(), c.get(), false);
+    const HelloMsg hello = make_hello(
+        co, static_cast<std::uint32_t>(c->worker), c->session, spec);
+    send_msg(co, *c, MsgType::kHello,
+             [&hello](WireWriter& w) { encode_hello(w, hello); });
+  }
+  if (co.listen_fd >= 0) {
+    epoll_add(co, co.listen_fd, nullptr, false);
+  }
+
+  struct epoll_event events[64];
+  while (!(co.running == 0 && (co.stop || co.pending == 0))) {
+    const int n =
+        ::epoll_wait(co.epfd, events, 64, tick_ms(co, 100));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw WireError(std::string("epoll_wait: ") + std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      PollTarget* target = static_cast<PollTarget*>(events[i].data.ptr);
+      if (target == nullptr) {
+        accept_reconnects(co, spec);
+        continue;
+      }
+      if (target->kind == PollTarget::kProvisional) {
+        auto* p = static_cast<Provisional*>(target);
+        if (!p->dead) {
+          service_provisional(co, *p, events[i].events);
+        }
+        continue;
+      }
+      Conn& conn = *static_cast<Conn*>(target);
+      if (conn.phase == Conn::kDead ||
+          conn.phase == Conn::kAwaitingReconnect) {
+        continue;  // stale event from earlier in this batch
+      }
+      try {
+        if ((events[i].events & EPOLLOUT) != 0) {
+          pump_writes(co, conn);
+        }
+        if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+          service_read(co, conn);
+        }
+      } catch (const std::exception& e) {
+        on_conn_lost(co, conn, e.what(), spec);
       }
     }
-    // Unmatched (window expired, bogus token): ch closes on scope exit.
+    run_timers(co, spec);
+    assign_jobs(co);
+    poke_steals(co);
+  }
+
+  // Hand every surviving worker its shutdown, draining briefly so the
+  // frame actually leaves before the close.
+  for (const auto& c : co.conns) {
+    if (c->phase != Conn::kServing && c->phase != Conn::kHandshaking) {
+      continue;
+    }
+    send_msg(co, *c, MsgType::kShutdown, [](WireWriter&) {});
+    try {
+      for (int spins = 0; c->ch.valid() && !c->ch.flush() && spins < 100;
+           ++spins) {
+        struct pollfd pfd {};
+        pfd.fd = c->ch.fd();
+        pfd.events = POLLOUT;
+        ::poll(&pfd, 1, 10);
+      }
+    } catch (const std::exception&) {
+    }
   }
 }
 
@@ -910,7 +1168,7 @@ JournalConfig journal_config_from(const DistExploreOptions& options) {
 // with completed ancestors are reused verbatim, incomplete ones re-queue
 // from their recorded specs, and descendants of incomplete jobs are
 // tombstoned (their regions re-run with the ancestor).  Reopens the
-// journal for appending.  Single-threaded (runs before any serve thread).
+// journal for appending.  Runs before the event loop starts.
 void load_journal(CoState& co, const DistExploreOptions& options,
                   JournalWriter& journal) {
   const JournalContents contents = read_journal(options.journal_path);
@@ -959,7 +1217,7 @@ void load_journal(CoState& co, const DistExploreOptions& options,
     if (plan[i] == check::detail::ResumeAction::kReuse) {
       rec->state = DistJob::kDone;
       rec->result = j.result;
-      rec->live.store(j.result.executions, std::memory_order_relaxed);
+      rec->live = j.result.executions;
       if (rec->result.violation &&
           (!co.have_violation || key_less(rec->key, co.violation_key))) {
         co.have_violation = true;
@@ -1038,6 +1296,15 @@ check::ScheduleExploreResult coordinate(
   if (options.resume && options.journal_path.empty()) {
     throw std::invalid_argument("dist: resume needs a journal path");
   }
+  if (options.fp_batch < 1) {
+    throw std::invalid_argument("dist: fp_batch must be >= 1");
+  }
+  if (options.fp_window < options.fp_batch) {
+    throw std::invalid_argument(
+        "dist: fp_window (" + std::to_string(options.fp_window) +
+        ") must be >= fp_batch (" + std::to_string(options.fp_batch) +
+        "): the outstanding window must hold at least one full batch");
+  }
 
   Log log(log_path_for("coordinator"));
   CoState co;
@@ -1074,6 +1341,7 @@ check::ScheduleExploreResult coordinate(
           Clock::now().time_since_epoch().count());
   for (std::size_t i = 0; i < worker_fds.size(); ++i) {
     auto conn = std::make_unique<Conn>();
+    conn->kind = PollTarget::kWorkerConn;
     conn->ch.adopt(worker_fds[i]);
     conn->worker = i;
     conn->session = token_base + i + 1;
@@ -1112,40 +1380,26 @@ check::ScheduleExploreResult coordinate(
   }
   log.line(
       "coordinator: %zu worker(s), cap=%llu, dedupe=%d, por=%d, "
-      "heartbeat=%ums/%ums, reconnect=%ums, journal=%s, faults=%s",
+      "heartbeat=%ums/%ums, reconnect=%ums, fp_batch=%u/%u, journal=%s, "
+      "faults=%s",
       co.conns.size(), static_cast<unsigned long long>(co.cap),
       options.base.dedupe_states ? 1 : 0, options.base.por ? 1 : 0,
       options.heartbeat_interval_ms, options.heartbeat_timeout_ms,
-      options.reconnect_window_ms,
+      options.reconnect_window_ms, options.fp_batch, options.fp_window,
       options.journal_path.empty() ? "off" : options.journal_path.c_str(),
       fault_plan_text(options.coordinator_faults).c_str());
 
-  {
-    std::thread acceptor;
-    if (co.listen_fd >= 0) {
-      acceptor = std::thread([&co, spec] { acceptor_loop(co, spec); });
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(co.conns.size());
-    for (const auto& conn : co.conns) {
-      pool.emplace_back([&co, &conn, spec] { serve_worker(co, *conn, spec); });
-    }
-    for (auto& t : pool) {
-      t.join();
-    }
-    {
-      std::lock_guard<std::mutex> g(co.mu);
-      co.acceptor_stop = true;
-    }
-    if (acceptor.joinable()) {
-      // Wake the acceptor's poll now rather than letting its accept tick
-      // run out: shutting the listener down makes it report readable, the
-      // pending accept fails, and the loop exits via its listener-gone
-      // path.  The caller owns the fd and closes it after we return.
-      ::shutdown(co.listen_fd, SHUT_RDWR);
-      acceptor.join();
-    }
+  co.epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (co.epfd < 0) {
+    throw WireError(std::string("epoll_create1: ") + std::strerror(errno));
   }
+  try {
+    run_event_loop(co, spec);
+  } catch (...) {
+    ::close(co.epfd);
+    throw;
+  }
+  ::close(co.epfd);
   for (const auto& conn : co.conns) {
     conn->ch.close();
   }
@@ -1217,9 +1471,9 @@ check::ScheduleExploreResult dist_explore_schedules(
   const int listen_fd = listen_tcp("127.0.0.1", port);
   const char* log_dir = std::getenv("REVISIM_DIST_LOG");
 
-  // Fork every worker BEFORE any coordinator thread exists: a fork of a
-  // multithreaded process may inherit held malloc/sanitizer locks, and
-  // TSan forbids it outright.
+  // Fork every worker first; the coordinator is single-threaded, but a
+  // worker forked after any thread ever existed may inherit held
+  // malloc/sanitizer locks, and TSan forbids it outright.
   std::vector<pid_t> kids;
   for (std::size_t i = 0; i < options.workers; ++i) {
     const pid_t pid = ::fork();
@@ -1267,7 +1521,7 @@ check::ScheduleExploreResult dist_explore_schedules(
   }
 
   // The listener stays open for the run: disconnected workers re-dial it
-  // and the coordinator's acceptor thread re-handshakes them.
+  // and the coordinator's epoll loop re-handshakes them.
   check::ScheduleExploreResult res;
   std::exception_ptr failure;
   if (fds.empty()) {

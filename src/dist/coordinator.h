@@ -22,10 +22,11 @@
 //     job_retries times); every region the lost attempt donated is
 //     CANCELLED, recursively, because the re-run walks the job's full
 //     original region - so requeue preserves bit-exact merge accounting
-//     even after donations.  With dedupe_states on a lost attempt instead
-//     fails the job (its claim-then-walk claims survive in the shard
-//     table, so a re-run could under-explore); checkpoint-resume is the
-//     sound recovery there.
+//     even after donations.  With dedupe_states on, the lost attempt's
+//     claim-then-walk claims survive in the shard table, so the re-run
+//     (and every region it donates, recursively) executes with dedupe off
+//     - it can never be pruned by an orphaned claim, so nothing is
+//     under-explored, and states_seen stays bounded by the serial count.
 //   - The worker keeps its session: it re-dials with backoff and
 //     re-handshakes under its prior session token, and the coordinator's
 //     acceptor hands the fresh socket back to the waiting serve thread
@@ -61,6 +62,14 @@ struct DistExploreOptions {
   std::chrono::milliseconds time_limit{0};  // 0 = unlimited
   std::uint64_t live_interval = 256;  // executions between kLive messages
   std::size_t fp_shards = 4;     // fingerprint-service shards (dedupe only)
+  // Fingerprint pipeline (dedupe only): workers batch first-sighting
+  // claims into kFpBatch frames of up to fp_batch fingerprints and keep
+  // descending speculatively while at most fp_window claims are awaiting
+  // kFpVerdicts; a duplicate verdict cancels the speculative subtree.
+  // fp_batch 1 degenerates to per-state round trips; fp_window must be
+  // >= fp_batch.
+  std::uint32_t fp_batch = 32;
+  std::uint32_t fp_window = 128;
   // Turn the hungry hint into kStealReq RPCs.  Off, the tree is never
   // split: one worker walks the seed job alone while the rest idle -
   // useful when jobs are tiny relative to wire latency, and for tests

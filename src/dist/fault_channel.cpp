@@ -1,5 +1,9 @@
 #include "src/dist/fault_channel.h"
 
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
 #include <stdexcept>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -114,6 +118,13 @@ Channel& Channel::operator=(Channel&& other) noexcept {
     recv_seq_ = other.recv_seq_;
     broken_ = other.broken_;
     partitioned_ = other.partitioned_;
+    nonblocking_ = other.nonblocking_;
+    cut_on_drain_ = other.cut_on_drain_;
+    rx_eof_ = other.rx_eof_;
+    tx_ = std::move(other.tx_);
+    tx_off_ = other.tx_off_;
+    rx_ = std::move(other.rx_);
+    rx_pos_ = other.rx_pos_;
     other.fd_ = -1;
     other.faults_ = nullptr;
   }
@@ -128,6 +139,13 @@ void Channel::adopt(int fd) {
   recv_seq_ = 0;
   broken_ = false;
   partitioned_ = false;
+  nonblocking_ = false;
+  cut_on_drain_ = false;
+  rx_eof_ = false;
+  tx_.clear();
+  tx_off_ = 0;
+  rx_.clear();
+  rx_pos_ = 0;
 }
 
 void Channel::close() {
@@ -158,8 +176,28 @@ void Channel::send(MsgType type, const WireWriter& body) {
   if (fd_ < 0 || broken_) {
     throw WireError("connection cut by fault injection");
   }
-  if (faults_ == nullptr || !faults_->any()) {
+  if ((faults_ == nullptr || !faults_->any()) && !tx_pending()) {
+    // Fault-free fast path: one scatter-gather write, nothing buffered.
     send_frame(fd_, type, body, send_seq_++);
+    ++sent_frames_;
+    return;
+  }
+  queue_frame(type, body);
+  flush_all();
+}
+
+void Channel::enqueue(MsgType type, const WireWriter& body) {
+  if (fd_ < 0 || broken_) {
+    throw WireError("connection cut by fault injection");
+  }
+  queue_frame(type, body);
+}
+
+// The one fault pipeline both I/O modes share.  Commits the (possibly
+// perturbed) frame bytes to tx_; the enqueue order is the stream order.
+void Channel::queue_frame(MsgType type, const WireWriter& body) {
+  if (faults_ == nullptr || !faults_->any()) {
+    append_frame(tx_, type, body, send_seq_++);
     ++sent_frames_;
     return;
   }
@@ -186,9 +224,13 @@ void Channel::send(MsgType type, const WireWriter& body) {
 
   if (faults_->truncate_at != 0 && sent_frames_ == faults_->truncate_at) {
     faults_->truncate_at = 0;  // one-shot
-    build_frame(scratch_, type, body, send_seq_++);
-    const std::size_t half = scratch_.size() < 2 ? 1 : scratch_.size() / 2;
-    send_bytes(fd_, scratch_.data(), half);
+    const std::size_t before = tx_.size();
+    append_frame(tx_, type, body, send_seq_++);
+    const std::size_t frame = tx_.size() - before;
+    tx_.resize(before + (frame < 2 ? 1 : frame / 2));
+    // Push the torn bytes out as far as the socket allows before dying, so
+    // the peer observes a mid-frame EOF rather than a silent vanish.
+    flush();
     ::shutdown(fd_, SHUT_RDWR);
     broken_ = true;
     throw WireError("fault injection: frame truncated mid-send");
@@ -200,16 +242,108 @@ void Channel::send(MsgType type, const WireWriter& body) {
   }
 
   const bool duplicate = chance(faults_->dup_rate);
-  send_frame(fd_, type, body, send_seq_);
+  append_frame(tx_, type, body, send_seq_);
   if (duplicate) {
-    send_frame(fd_, type, body, send_seq_);  // same seq: a true dup
+    append_frame(tx_, type, body, send_seq_);  // same seq: a true dup
   }
   ++send_seq_;
 
   if (faults_->cut_after != 0 && sent_frames_ >= faults_->cut_after) {
     faults_->cut_after = 0;  // one-shot
+    cut_on_drain_ = true;  // shut down after this frame's bytes land
+  }
+}
+
+bool Channel::flush() {
+  while (tx_off_ < tx_.size()) {
+    const ssize_t sent =
+        ::send(fd_, tx_.data() + tx_off_, tx_.size() - tx_off_, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return false;
+      }
+      throw WireError(std::string("send: ") + std::strerror(errno));
+    }
+    tx_off_ += static_cast<std::size_t>(sent);
+  }
+  tx_.clear();
+  tx_off_ = 0;
+  if (cut_on_drain_) {
+    cut_on_drain_ = false;
     ::shutdown(fd_, SHUT_RDWR);
     broken_ = true;
+  }
+  return true;
+}
+
+void Channel::flush_all() {
+  while (!flush()) {
+    // Only a non-blocking fd can report would-block; wait for socket space
+    // rather than spinning.
+    struct pollfd pfd {};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    ::poll(&pfd, 1, -1);
+  }
+}
+
+void Channel::set_nonblocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw WireError(std::string("fcntl O_NONBLOCK: ") + std::strerror(errno));
+  }
+  nonblocking_ = true;
+  tx_.reserve(std::size_t{64} << 10);
+  rx_.reserve(std::size_t{64} << 10);
+}
+
+int Channel::buffered_recv(Frame& frame) {
+  for (;;) {
+    const std::size_t avail = rx_.size() - rx_pos_;
+    if (avail >= kFrameHeaderBytes) {
+      const std::uint8_t* header = rx_.data() + rx_pos_;
+      const std::uint32_t len = frame_payload_size(header);
+      if (avail >= kFrameHeaderBytes + len) {
+        parse_frame(header, header + kFrameHeaderBytes, len, frame, recv_seq_);
+        ++recv_seq_;
+        rx_pos_ += kFrameHeaderBytes + len;
+        if (rx_pos_ == rx_.size()) {
+          rx_.clear();
+          rx_pos_ = 0;
+        } else if (rx_pos_ >= (std::size_t{1} << 20)) {
+          // Compact occasionally so a long-lived connection cannot grow the
+          // buffer with already-consumed bytes.
+          rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(rx_pos_));
+          rx_pos_ = 0;
+        }
+        return 1;
+      }
+    }
+    if (rx_eof_) {
+      if (rx_.size() == rx_pos_) {
+        return -1;
+      }
+      throw WireError("connection closed mid-frame");
+    }
+    std::uint8_t chunk[16 << 10];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return 0;
+      }
+      throw WireError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      rx_eof_ = true;
+      continue;
+    }
+    rx_.insert(rx_.end(), chunk, chunk + n);
   }
 }
 

@@ -71,10 +71,18 @@ std::string fault_plan_text(const FaultPlan& plan);
 // fault in lockstep.
 FaultPlan derive_fault_plan(const FaultPlan& plan, std::size_t index);
 
-// A connected socket plus the v2 framing state (send/recv sequence
-// numbers) and an optional fault plan applied to sends.  Not thread-safe
-// per direction: callers serialize sends among themselves (the coordinator
-// holds a per-connection send mutex) and receive from one thread only.
+// A connected socket plus the framing state (send/recv sequence numbers)
+// and an optional fault plan applied to sends.  Two I/O modes share the
+// fault pipeline:
+//   - blocking (the worker): send() writes one frame per call as a single
+//     scatter-gather sendmsg (header + payload, no assembly copy);
+//   - non-blocking buffered (the coordinator's epoll loop): enqueue()
+//     commits frames to a per-connection tx buffer (faults apply here, at
+//     commit-to-stream order) and flush() coalesces everything pending
+//     into one sendmsg, while buffered_recv() parses frames out of a
+//     per-connection rx buffer fed by non-blocking reads.
+// Not thread-safe per direction: callers serialize sends among themselves
+// and receive from one thread only (the epoll loop owns both directions).
 class Channel {
  public:
   Channel() = default;
@@ -117,8 +125,38 @@ class Channel {
   // True when a frame header is ready within timeout_ms.
   bool wait(int timeout_ms) { return wait_readable(fd_, timeout_ms); }
 
+  // --- non-blocking buffered mode (the coordinator's epoll loop) ------------
+
+  // Switches the fd to O_NONBLOCK and reserves the tx/rx buffers once for
+  // the life of the connection.
+  void set_nonblocking();
+
+  // Commits one frame to the tx buffer without writing to the socket.
+  // Faults fire here - the enqueue order is the stream order - so the
+  // injection matrix composes with coalesced sends.  Throws WireError like
+  // send() when the connection is already dead.
+  void enqueue(MsgType type, const WireWriter& body);
+
+  // Writes everything enqueued in as few sendmsg calls as the socket
+  // accepts.  Returns true when the tx buffer drained; false when the
+  // socket would block (arm EPOLLOUT and call again on writability).
+  bool flush();
+  [[nodiscard]] bool tx_pending() const { return tx_.size() > tx_off_; }
+
+  // Non-blocking buffered receive: drains readable bytes into the rx
+  // buffer, then parses at most one frame.  1 = frame, 0 = no complete
+  // frame available yet, -1 = EOF at a frame boundary with the buffer
+  // consumed.  Throws WireError on mid-frame EOF, crc/seq mismatch, or
+  // I/O failure.  Call in a loop until 0 - the socket is edge-drained on
+  // the first call, so later frames sit in the buffer.
+  int buffered_recv(Frame& frame);
+
  private:
   [[nodiscard]] bool chance(double p);
+  // Shared fault pipeline: appends the faulted frame bytes to tx_.
+  void queue_frame(MsgType type, const WireWriter& body);
+  // flush() that tolerates a blocking fd (the send() path).
+  void flush_all();
 
   int fd_ = -1;
   FaultPlan* faults_ = nullptr;
@@ -128,7 +166,16 @@ class Channel {
   std::uint32_t recv_seq_ = 0;
   bool broken_ = false;       // cut/truncate fired on this connection
   bool partitioned_ = false;  // partition fired on this connection
-  std::vector<std::uint8_t> scratch_;  // truncation builds the raw frame here
+  bool nonblocking_ = false;
+  bool cut_on_drain_ = false;  // cut_after fired; shut down once tx_ drains
+  bool rx_eof_ = false;
+  // Coalescing buffers, reserved once per connection: frames are appended
+  // back to back in tx_ (tx_off_ = bytes already on the wire) and parsed
+  // out of rx_ (rx_pos_ = bytes already consumed).
+  std::vector<std::uint8_t> tx_;
+  std::size_t tx_off_ = 0;
+  std::vector<std::uint8_t> rx_;
+  std::size_t rx_pos_ = 0;
 };
 
 }  // namespace revisim::dist

@@ -9,6 +9,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "src/util/crc32.h"
@@ -165,6 +166,12 @@ util::Fingerprint WireReader::fingerprint() {
   return fp;
 }
 
+void WireReader::raw(std::uint8_t* out, std::size_t n) {
+  need(n);
+  std::copy(p_ + off_, p_ + off_ + n, out);
+  off_ += n;
+}
+
 void WireReader::expect_done() const {
   if (off_ != size_) {
     throw WireError("trailing bytes in wire payload (" +
@@ -194,6 +201,9 @@ void encode_hello(WireWriter& w, const HelloMsg& m) {
   w.u64(m.f);
   w.u64(m.m);
   w.u64(m.step_budget);
+  w.u64(m.probe_interval);
+  w.u32(m.fp_batch);
+  w.u32(m.fp_window);
 }
 
 HelloMsg decode_hello(WireReader& r) {
@@ -223,6 +233,9 @@ HelloMsg decode_hello(WireReader& r) {
   m.f = r.u64();
   m.m = r.u64();
   m.step_budget = r.u64();
+  m.probe_interval = r.u64();
+  m.fp_batch = r.u32();
+  m.fp_window = r.u32();
   r.expect_done();
   return m;
 }
@@ -262,6 +275,7 @@ void encode_job(WireWriter& w, const JobMsg& m) {
   w.schedule(m.choices);
   w.schedule(m.sleep);
   w.u32(m.sleep_inherited);
+  w.u8(m.no_dedupe ? 1 : 0);
 }
 
 JobMsg decode_job(WireReader& r) {
@@ -276,6 +290,7 @@ JobMsg decode_job(WireReader& r) {
   if (m.sleep_inherited > m.sleep.size()) {
     throw WireError("job sleep_inherited exceeds sleep size");
   }
+  m.no_dedupe = r.u8() != 0;
   r.expect_done();
   return m;
 }
@@ -422,6 +437,64 @@ FpReplyMsg decode_fp_reply(WireReader& r) {
   return m;
 }
 
+void encode_fp_batch(WireWriter& w, const FpBatchMsg& m) {
+  if (m.fps.size() > kMaxFrameBytes / 16) {
+    throw WireError("fingerprint batch too large to serialize");
+  }
+  if (m.has_canonical && m.canonicals.size() != m.fps.size()) {
+    throw WireError("fingerprint batch canonical count mismatch");
+  }
+  w.u32(static_cast<std::uint32_t>(m.fps.size()));
+  for (const util::Fingerprint fp : m.fps) {
+    w.fingerprint(fp);
+  }
+  w.u8(m.has_canonical ? 1 : 0);
+  if (m.has_canonical) {
+    for (const std::string& c : m.canonicals) {
+      w.str(c);
+    }
+  }
+}
+
+FpBatchMsg decode_fp_batch(WireReader& r) {
+  FpBatchMsg m;
+  const std::uint32_t n = r.u32();
+  r.need_ahead(static_cast<std::size_t>(n) * 16);
+  m.fps.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    m.fps.push_back(r.fingerprint());
+  }
+  m.has_canonical = r.u8() != 0;
+  if (m.has_canonical) {
+    m.canonicals.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      m.canonicals.push_back(r.str());
+    }
+  }
+  r.expect_done();
+  return m;
+}
+
+void encode_fp_verdicts(WireWriter& w, const FpVerdictsMsg& m) {
+  if (m.bitmap.size() != (static_cast<std::size_t>(m.count) + 7) / 8) {
+    throw WireError("verdict bitmap length disagrees with verdict count");
+  }
+  w.u32(m.count);
+  w.data(m.bitmap.data(), m.bitmap.size());
+}
+
+FpVerdictsMsg decode_fp_verdicts(WireReader& r) {
+  FpVerdictsMsg m;
+  m.count = r.u32();
+  const std::size_t bytes = (static_cast<std::size_t>(m.count) + 7) / 8;
+  m.bitmap.resize(bytes);
+  r.raw(m.bitmap.data(), bytes);
+  // A bitmap longer than the count claims verdicts for entries that do not
+  // exist; expect_done rejects the trailing bytes.
+  r.expect_done();
+  return m;
+}
+
 void encode_ping(WireWriter& w, const PingMsg& m) { w.u64(m.nonce); }
 
 PingMsg decode_ping(WireReader& r) {
@@ -480,28 +553,18 @@ bool recv_all(int fd, std::uint8_t* data, std::size_t n, bool eof_ok) {
   return true;
 }
 
-// Reads the payload after a complete 13-byte header, then verifies the crc
-// (over type + seq bytes + payload) and the per-direction sequence number.
-void recv_frame_body(int fd, Frame& frame,
-                     const std::uint8_t header[kFrameHeaderBytes],
-                     std::uint32_t expected_seq) {
-  std::uint32_t len = 0;
+// Verifies the crc (over type + seq bytes + payload) and the per-direction
+// sequence number of a frame whose payload already sits in frame.payload.
+void verify_frame(Frame& frame, const std::uint8_t header[kFrameHeaderBytes],
+                  std::uint32_t expected_seq) {
   std::uint32_t seq = 0;
   std::uint32_t crc = 0;
   for (int i = 0; i < 4; ++i) {
-    len |= std::uint32_t{header[i]} << (8 * i);
     seq |= std::uint32_t{header[5 + i]} << (8 * i);
     crc |= std::uint32_t{header[9 + i]} << (8 * i);
   }
-  if (len > kMaxFrameBytes) {
-    throw WireError("oversized frame (" + std::to_string(len) + " bytes)");
-  }
   frame.type = static_cast<MsgType>(header[4]);
   frame.seq = seq;
-  frame.payload.resize(len);
-  if (len > 0) {
-    recv_all(fd, frame.payload.data(), len, /*eof_ok=*/false);
-  }
   std::uint32_t want = util::crc32(0, header + 4, 5);
   want = util::crc32(want, frame.payload.data(), frame.payload.size());
   if (want != crc) {
@@ -514,15 +577,51 @@ void recv_frame_body(int fd, Frame& frame,
   }
 }
 
+// Reads the payload after a complete 13-byte header, then verifies.
+void recv_frame_body(int fd, Frame& frame,
+                     const std::uint8_t header[kFrameHeaderBytes],
+                     std::uint32_t expected_seq) {
+  const std::uint32_t len = frame_payload_size(header);
+  frame.payload.resize(len);
+  if (len > 0) {
+    recv_all(fd, frame.payload.data(), len, /*eof_ok=*/false);
+  }
+  verify_frame(frame, header, expected_seq);
+}
+
 }  // namespace
+
+std::uint32_t frame_payload_size(const std::uint8_t* header) {
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= std::uint32_t{header[i]} << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    throw WireError("oversized frame (" + std::to_string(len) + " bytes)");
+  }
+  return len;
+}
+
+void parse_frame(const std::uint8_t* header, const std::uint8_t* payload,
+                 std::size_t payload_len, Frame& frame,
+                 std::uint32_t expected_seq) {
+  frame.payload.assign(payload, payload + payload_len);
+  verify_frame(frame, header, expected_seq);
+}
 
 void build_frame(std::vector<std::uint8_t>& out, MsgType type,
                  const WireWriter& body, std::uint32_t seq) {
+  out.clear();
+  append_frame(out, type, body, seq);
+}
+
+void append_frame(std::vector<std::uint8_t>& out, MsgType type,
+                  const WireWriter& body, std::uint32_t seq) {
   if (body.size() > kMaxFrameBytes) {
     throw WireError("frame payload too large");
   }
-  out.clear();
-  out.reserve(kFrameHeaderBytes + body.size());
+  out.reserve(out.size() + kFrameHeaderBytes + body.size());
+  const std::size_t base = out.size();
   const auto len = static_cast<std::uint32_t>(body.size());
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
@@ -531,7 +630,7 @@ void build_frame(std::vector<std::uint8_t>& out, MsgType type,
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
   }
-  std::uint32_t crc = util::crc32(0, out.data() + 4, 5);
+  std::uint32_t crc = util::crc32(0, out.data() + base + 4, 5);
   crc = util::crc32(crc, body.data(), body.size());
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
@@ -562,8 +661,36 @@ void send_frame(int fd, MsgType type, const WireWriter& body,
   for (int i = 0; i < 4; ++i) {
     header[9 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
   }
-  send_all(fd, header, sizeof header);
-  send_all(fd, body.data(), body.size());
+  // One scatter-gather write: header + payload leave in a single syscall
+  // (and, on TCP, usually a single segment) with no assembly copy.
+  iovec iov[2];
+  iov[0] = {header, sizeof header};
+  iov[1] = {const_cast<std::uint8_t*>(body.data()), body.size()};
+  std::size_t total = sizeof header + body.size();
+  int iov_at = 0;
+  while (total > 0) {
+    msghdr mh{};
+    mh.msg_iov = iov + iov_at;
+    mh.msg_iovlen = 2 - iov_at;
+    const ssize_t sent = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw WireError(errno_text("sendmsg"));
+    }
+    total -= static_cast<std::size_t>(sent);
+    std::size_t left = static_cast<std::size_t>(sent);
+    while (left > 0 && left >= iov[iov_at].iov_len) {
+      left -= iov[iov_at].iov_len;
+      iov[iov_at].iov_len = 0;
+      ++iov_at;
+    }
+    if (left > 0) {
+      iov[iov_at].iov_base = static_cast<std::uint8_t*>(iov[iov_at].iov_base) + left;
+      iov[iov_at].iov_len -= left;
+    }
+  }
 }
 
 bool recv_frame(int fd, Frame& frame, std::uint32_t expected_seq) {

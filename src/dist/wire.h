@@ -7,7 +7,7 @@
 // warm worlds (the worker re-replays the prefix into its own checkpoint
 // pool) - so the encoding below is a straight transcription.
 //
-// Encoding rules, version 2:
+// Encoding rules, version 3:
 //   - All integers are fixed-width little-endian, written byte by byte
 //     (shift/mask), so the format is identical across host endianness and
 //     word size.
@@ -39,7 +39,8 @@
 //                     version skew), resume flag + session token (a
 //                     reconnecting worker echoes its prior session)
 //   kJob        C->W  job id, execution budget, fault_after (test
-//                     instrumentation), prefix, choices, sleep pids
+//                     instrumentation), prefix, choices, sleep pids,
+//                     no_dedupe flag (re-run of a lost deduped attempt)
 //   kJobResult  W->C  job id + the full SubtreeResult summary
 //   kJobError   W->C  job id + exception text (retry/degradation path)
 //   kLive       W->C  job id + executions so far (cap-credit input)
@@ -51,7 +52,14 @@
 //   kStealReq   C->W  empty; asks the worker to split its current job
 //   kFpInsert   W->C  fingerprint + optional canonical state text (audit);
 //                     first local sighting, forwarded to the shard service
+//                     (v2 synchronous path, kept for one-off inserts)
 //   kFpReply    C->W  was_new flag (claim-then-walk verdict)
+//   kFpBatch    W->C  a window of fingerprints in one frame (+ parallel
+//                     canonical texts in audit mode); the async pipeline's
+//                     claim request
+//   kFpVerdicts C->W  packed was_new bitmap, bit i answering entry i of the
+//                     oldest unanswered kFpBatch (batches are answered
+//                     strictly in order)
 //   kShutdown   C->W  empty; the run is over
 //   kPing       both  liveness probe with an echo nonce; legal at any
 //                     protocol point, answered with kPong
@@ -76,7 +84,7 @@ class WireError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x4d535652u;  // "RVSM"
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 inline constexpr std::size_t kMaxFrameBytes = std::size_t{64} << 20;
 // [u32 len][u8 type][u32 seq][u32 crc]
 inline constexpr std::size_t kFrameHeaderBytes = 13;
@@ -96,6 +104,8 @@ enum class MsgType : std::uint8_t {
   kShutdown = 12,
   kPing = 13,
   kPong = 14,
+  kFpBatch = 15,
+  kFpVerdicts = 16,
 };
 
 // --- schedule entries --------------------------------------------------------
@@ -123,6 +133,9 @@ class WireWriter {
   void entry(runtime::ProcessId e) { u64(entry_to_wire(e)); }
   void schedule(const std::vector<runtime::ProcessId>& entries);
   void fingerprint(util::Fingerprint fp);
+  void data(const std::uint8_t* p, std::size_t n) {
+    buf_.insert(buf_.end(), p, p + n);
+  }
 
   [[nodiscard]] const std::uint8_t* data() const { return buf_.data(); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
@@ -146,9 +159,13 @@ class WireReader {
   runtime::ProcessId entry() { return entry_from_wire(u64()); }
   std::vector<runtime::ProcessId> schedule();
   util::Fingerprint fingerprint();
+  void raw(std::uint8_t* out, std::size_t n);
 
   [[nodiscard]] bool done() const { return off_ == size_; }
   void expect_done() const;
+  // Pre-check that `n` bytes remain, without consuming them - rejects a
+  // corrupt element count before it becomes a huge reserve().
+  void need_ahead(std::size_t n) const { need(n); }
 
  private:
   void need(std::size_t n) const;
@@ -180,6 +197,15 @@ struct HelloMsg {
   bool dedupe_adaptive = false;
   bool por = false;
   std::uint64_t live_interval = 256;  // executions between kLive messages
+  // Abort-probe pump cadence: the worker drains coordinator frames every
+  // `probe_interval`-th abort probe (ScheduleExploreOptions::
+  // dist_probe_interval, validated >= 1).
+  std::uint64_t probe_interval = 16;
+  // Fingerprint pipeline: claims ship in kFpBatch frames of up to fp_batch
+  // entries, and at most fp_window claims may be awaiting verdicts before
+  // the worker blocks (the bounded speculation window).
+  std::uint32_t fp_batch = 32;
+  std::uint32_t fp_window = 128;
   // Registry world (src/check/crash_worlds.h) for cluster workers; an empty
   // name means the worker holds the factory already (fork mode).
   std::string world;
@@ -207,6 +233,10 @@ struct JobMsg {
   // Leading entries of `sleep` that are inherited sleepers (wakeup-counting)
   // rather than the donor's explored elder siblings; see Donation.
   std::uint32_t sleep_inherited = 0;
+  // Re-run of a job whose previous attempt died mid-walk with dedupe on:
+  // the worker must walk the whole region unpruned (and donate it onward
+  // unpruned), because the lost attempt's fingerprint claims have no owner.
+  bool no_dedupe = false;
 };
 
 struct JobResultMsg {
@@ -248,6 +278,38 @@ struct FpReplyMsg {
   bool was_new = false;
 };
 
+struct FpBatchMsg {
+  std::vector<util::Fingerprint> fps;
+  // Audit mode ships canonical state texts parallel to `fps`; decode
+  // rejects a canonical list whose length disagrees with the batch.
+  bool has_canonical = false;
+  std::vector<std::string> canonicals;
+};
+
+struct FpVerdictsMsg {
+  // Number of verdicts; must equal the oldest unanswered batch's size.
+  std::uint32_t count = 0;
+  // ceil(count / 8) bytes; bit i (little-endian within each byte) is the
+  // was_new verdict for batch entry i.  encode/decode reject a bitmap
+  // whose length disagrees with `count`.
+  std::vector<std::uint8_t> bitmap;
+
+  [[nodiscard]] bool was_new(std::uint32_t i) const {
+    return (bitmap[i >> 3] >> (i & 7)) & 1u;
+  }
+  void set(std::uint32_t i, bool v) {
+    if (v) {
+      bitmap[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+    } else {
+      bitmap[i >> 3] &= static_cast<std::uint8_t>(~(1u << (i & 7)));
+    }
+  }
+  void resize(std::uint32_t n) {
+    count = n;
+    bitmap.assign((n + 7) / 8, 0);
+  }
+};
+
 struct PingMsg {
   std::uint64_t nonce = 0;
 };
@@ -284,6 +346,10 @@ void encode_fp_insert(WireWriter& w, const FpInsertMsg& m);
 [[nodiscard]] FpInsertMsg decode_fp_insert(WireReader& r);
 void encode_fp_reply(WireWriter& w, const FpReplyMsg& m);
 [[nodiscard]] FpReplyMsg decode_fp_reply(WireReader& r);
+void encode_fp_batch(WireWriter& w, const FpBatchMsg& m);
+[[nodiscard]] FpBatchMsg decode_fp_batch(WireReader& r);
+void encode_fp_verdicts(WireWriter& w, const FpVerdictsMsg& m);
+[[nodiscard]] FpVerdictsMsg decode_fp_verdicts(WireReader& r);
 void encode_ping(WireWriter& w, const PingMsg& m);
 [[nodiscard]] PingMsg decode_ping(WireReader& r);
 void encode_pong(WireWriter& w, const PongMsg& m);
@@ -307,15 +373,32 @@ struct Frame {
 void build_frame(std::vector<std::uint8_t>& out, MsgType type,
                  const WireWriter& body, std::uint32_t seq);
 
+// Appends one complete frame to `out` WITHOUT clearing it - the
+// frame-coalescing tx-buffer path; build_frame is clear + append.
+void append_frame(std::vector<std::uint8_t>& out, MsgType type,
+                  const WireWriter& body, std::uint32_t seq);
+
 // Writes raw bytes with MSG_NOSIGNAL; throws WireError on I/O failure (a
 // dead peer surfaces as an error, never a SIGPIPE).
 void send_bytes(int fd, const std::uint8_t* data, std::size_t n);
 
-// Writes one frame carrying the given per-direction sequence number.
-// Callers own the counter (see fault_channel.h's Channel, which wraps fd +
-// both counters); throws WireError on I/O failure.
+// Writes one frame carrying the given per-direction sequence number as a
+// single scatter-gather write (header + payload in one sendmsg, no
+// assembly copy).  Callers own the counter (see fault_channel.h's Channel,
+// which wraps fd + both counters); throws WireError on I/O failure.
 void send_frame(int fd, MsgType type, const WireWriter& body,
                 std::uint32_t seq);
+
+// Reads the payload length out of a 13-byte frame header; throws WireError
+// when it exceeds kMaxFrameBytes (stream corruption).
+[[nodiscard]] std::uint32_t frame_payload_size(const std::uint8_t* header);
+
+// Verifies and unpacks one complete frame whose header and payload bytes
+// are already in memory - the buffered (epoll) receive path.  Same crc /
+// sequence / size checks as recv_frame.
+void parse_frame(const std::uint8_t* header, const std::uint8_t* payload,
+                 std::size_t payload_len, Frame& frame,
+                 std::uint32_t expected_seq);
 
 // Blocking receive.  Returns false on clean EOF at a frame boundary; throws
 // WireError on I/O failure, truncated frames, oversized payloads, crc

@@ -16,9 +16,12 @@
 // intact; any in-flight job is abandoned (the coordinator re-queues it).
 //
 // With dedupe on, the worker routes first-sightings of a state through the
-// coordinator's sharded fingerprint service (a synchronous kFpInsert round
-// trip per distinct state) while caching every answer in a local
-// StateTable, so repeat sightings prune locally without touching the wire.
+// coordinator's sharded fingerprint service asynchronously: claims are
+// batched into kFpBatch frames and the DFS keeps descending speculatively
+// while up to fp_window claims await their packed kFpVerdicts bitmap; a
+// duplicate verdict cancels the speculative subtree (see RemoteStateStore
+// in worker.cpp for the soundness invariant).  A local StateTable caches
+// every sighting, so repeats prune locally without touching the wire.
 #pragma once
 
 #include <cstdint>

@@ -244,6 +244,9 @@ TEST(Wire, HelloRoundTripAndVersionCheck) {
   m.dedupe_adaptive = true;
   m.por = true;
   m.live_interval = 99;
+  m.probe_interval = 1;
+  m.fp_batch = 7;
+  m.fp_window = 21;
   m.world = "aug-mutant";
   m.f = 2;
   m.m = 3;
@@ -264,6 +267,9 @@ TEST(Wire, HelloRoundTripAndVersionCheck) {
   EXPECT_EQ(got.dedupe_adaptive, m.dedupe_adaptive);
   EXPECT_EQ(got.por, m.por);
   EXPECT_EQ(got.live_interval, m.live_interval);
+  EXPECT_EQ(got.probe_interval, m.probe_interval);
+  EXPECT_EQ(got.fp_batch, m.fp_batch);
+  EXPECT_EQ(got.fp_window, m.fp_window);
   EXPECT_EQ(got.world, m.world);
   EXPECT_EQ(got.f, m.f);
   EXPECT_EQ(got.m, m.m);
@@ -285,6 +291,7 @@ TEST(Wire, JobAndResultRoundTripEverySubtreeField) {
   job.choices = {2, runtime::make_crash_entry(1)};
   job.sleep = {1, 2};
   job.sleep_inherited = 1;
+  job.no_dedupe = true;
   dist::WireWriter w;
   dist::encode_job(w, job);
   {
@@ -298,6 +305,7 @@ TEST(Wire, JobAndResultRoundTripEverySubtreeField) {
     EXPECT_EQ(got.choices, job.choices);
     EXPECT_EQ(got.sleep, job.sleep);
     EXPECT_EQ(got.sleep_inherited, job.sleep_inherited);
+    EXPECT_EQ(got.no_dedupe, job.no_dedupe);
   }
 
   {
@@ -522,6 +530,32 @@ TEST(DistParity, TwoAndFourWorkersBitIdenticalToSerial) {
   }
 }
 
+// Satellite: the probe cadence is a pure latency/syscall knob, never a
+// semantic one.  At dist_probe_interval=1 (pump the control channel at
+// every execution boundary - the cadence the wire bit-parity tests use)
+// the merged summary must still be bit-identical to serial.
+TEST(DistParity, ProbeIntervalOneBitIdenticalToSerial) {
+  auto serial = explore_schedules(script_factory({3, 3, 2}));
+  ASSERT_TRUE(serial.exhausted);
+  DistExploreOptions opt;
+  opt.workers = 2;
+  opt.base.dist_probe_interval = 1;
+  auto dist = dist::dist_explore_schedules(script_factory({3, 3, 2}), opt);
+  expect_same(dist, serial, "probe_interval=1");
+  EXPECT_FALSE(dist.error.has_value());
+
+  // And with dedupe on: every-execution pumping drains verdicts at the
+  // fastest possible cadence; the all-distinct world must still prune
+  // nothing and match the undeduped run bit-for-bit.
+  DistExploreOptions dopt;
+  dopt.workers = 2;
+  dopt.base.dist_probe_interval = 1;
+  dopt.base.dedupe_states = true;
+  auto ddist = dist::dist_explore_schedules(script_factory({3, 3, 2}), dopt);
+  expect_same(ddist, serial, "probe_interval=1 + dedupe");
+  EXPECT_FALSE(ddist.error.has_value());
+}
+
 TEST(DistParity, LexSmallestWitnessAcrossWorkers) {
   // Two planted violations; serial DFS reports the lexicographically
   // smaller schedule (0101 < 1100), and so must every distributed run.
@@ -655,6 +689,9 @@ TEST(DistDedupe, ShardedServiceKeepsVerdictAndBoundsStates) {
   EXPECT_EQ(dist.exhausted, serial.exhausted);
   // Claim-then-walk across the shards: never more distinct states than the
   // serial table records, and never more executions than the undeduped tree.
+  // (Speculative descent can overlap the serial DEDUPED execution count -
+  // work done before a duplicate verdict lands stays counted - but it only
+  // ever prunes relative to the full tree, so the undeduped bound holds.)
   EXPECT_LE(dist.states_seen, serial.states_seen);
   EXPECT_LE(dist.executions, undeduped.executions);
   EXPECT_FALSE(dist.error.has_value());

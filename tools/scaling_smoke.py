@@ -55,7 +55,18 @@ enforces four things:
    absolute-gap slack absorbs throttled-container jitter as in gates 2
    and 5.
 
-7. Row schema: every record in the file carries the fields (with the types)
+7. Distributed dedupe overhead: dist-dedupe-workers-2 (every claim crosses
+   the socket through the batched kFpBatch/kFpVerdicts pipeline) must not
+   run more than DIST_LIMIT times slower than parallel-dedupe-2 on the
+   checked instances - the async pipeline exists to keep the shared-table
+   toll at in-process scale instead of one RPC round trip per state.  The
+   absolute-gap slack absorbs small-tree jitter as in gate 5.  The same
+   gate checks the dedupe contract: every dist-dedupe-workers-N row must
+   keep verdict parity and report states_seen no larger than
+   serial-dedupe's (claims are a subset of the distinct states the serial
+   table records).
+
+8. Row schema: every record in the file carries the fields (with the types)
    its record kind promises, so sweeps over commits can diff numbers
    without defensive parsing.
 
@@ -319,13 +330,60 @@ def main() -> int:
                 f"{HEARTBEAT_ABS_SLACK_SECONDS}s)"
             )
 
+    # Gate 7: the batched fingerprint pipeline keeps distributed dedupe at
+    # in-process scale, and the dedupe contract holds at every worker count.
+    for instance in INSTANCES:
+        par = rows.get((instance, "parallel-dedupe-2"))
+        dist = rows.get((instance, "dist-dedupe-workers-2"))
+        serial = rows.get((instance, "serial-dedupe"))
+        if par is None or dist is None or serial is None:
+            failures.append(
+                f"{instance}: missing parallel-dedupe-2/dist-dedupe-workers-2/"
+                f"serial-dedupe rows"
+            )
+            continue
+        ratio = dist["seconds"] / max(par["seconds"], 1e-9)
+        gap = dist["seconds"] - par["seconds"]
+        slow = ratio > DIST_LIMIT and gap > DIST_ABS_SLACK_SECONDS
+        verdict = "FAIL" if slow else "ok"
+        print(
+            f"scaling-smoke: {instance}: parallel-dedupe-2"
+            f" {par['seconds']:.3f}s, dist-dedupe-workers-2"
+            f" {dist['seconds']:.3f}s -> {ratio:.2f}x"
+            f" (limit {DIST_LIMIT}x + {DIST_ABS_SLACK_SECONDS}s slack)"
+            f" {verdict}"
+        )
+        if slow:
+            failures.append(
+                f"{instance}: dist-dedupe-workers-2 is {ratio:.2f}x slower "
+                f"than parallel-dedupe-2 (limit {DIST_LIMIT}x, gap "
+                f"{gap:.4f}s > {DIST_ABS_SLACK_SECONDS}s)"
+            )
+        for config in (
+            "dist-dedupe-workers-1",
+            "dist-dedupe-workers-2",
+            "dist-dedupe-workers-4",
+        ):
+            row = rows.get((instance, config))
+            if row is None:
+                failures.append(f"{instance}: missing {config} row")
+                continue
+            if not row.get("verdict_parity", False):
+                failures.append(f"{instance}: {config} lost verdict parity")
+            if row["states_seen"] > serial["states_seen"]:
+                failures.append(
+                    f"{instance}: {config} states_seen {row['states_seen']} "
+                    f"exceeds serial-dedupe's {serial['states_seen']} - a "
+                    f"pipeline claim escaped the dedupe contract"
+                )
+
     if failures:
         for failure in failures:
             print(f"scaling-smoke: FAIL: {failure}")
         return 1
     print(
         "scaling-smoke: PASS (scaling, dedupe threads, POR, dist parity, "
-        "dist overhead, heartbeat overhead, schema)"
+        "dist overhead, heartbeat overhead, dist dedupe overhead, schema)"
     )
     return 0
 
